@@ -1,0 +1,51 @@
+// Baseline comparison (Section 10): the Wu & Lewis (ICPP 1990) schemes —
+// naive loop distribution and DOACROSS pipelining — against this paper's
+// General-3, across work grains, on the simulated 8-way machine.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace wlp;
+using namespace wlp::bench;
+
+int main() {
+  std::printf("==== Baseline: Wu-Lewis schemes vs General-3 (p = 8) ====\n\n");
+
+  const sim::Simulator sim;
+  TextTable table({"work grain", "WuLewis distribute", "WuLewis doacross",
+                   "General-3", "best"});
+
+  for (const double grain : {1.0, 2.0, 4.0, 8.0, 16.0, 32.0}) {
+    sim::LoopProfile lp;
+    lp.u = lp.trip = 4000;
+    lp.work.assign(4000, grain);
+    lp.next_cost = 1.0;
+
+    const double dist = sim.run(Method::kWuLewisDistribute, lp, 8).speedup;
+    const double dax = sim.run(Method::kWuLewisDoacross, lp, 8).speedup;
+    const double g3 = sim.run(Method::kGeneral3, lp, 8).speedup;
+    const char* best = g3 >= dist && g3 >= dax ? "General-3"
+                       : dist >= dax           ? "distribute"
+                                               : "doacross";
+    table.row({TextTable::num(grain, 1), TextTable::num(dist, 2),
+               TextTable::num(dax, 2), TextTable::num(g3, 2), best});
+  }
+  table.print();
+
+  // RV case: the naive distribution must precompute every term.
+  std::printf("\nRV terminator (trip = 1000 of u = 8000):\n");
+  sim::LoopProfile rv;
+  rv.u = 8000;
+  rv.trip = 1000;
+  rv.work.assign(8000, 8.0);
+  rv.next_cost = 1.0;
+  rv.overshoot_does_work = true;
+  const double dist = sim.run(Method::kWuLewisDistribute, rv, 8).speedup;
+  const double g3 = sim.run(Method::kGeneral3, rv, 8).speedup;
+  std::printf("  distribute: %.2f (pays %ld superfluous dispatcher terms)\n", dist,
+              rv.u - rv.trip);
+  std::printf("  General-3 : %.2f\n", g3);
+  std::printf("\nthe embedded-traversal methods dominate the naive distribution\n"
+              "for RV loops, as Section 3.3 argues.\n");
+  return 0;
+}

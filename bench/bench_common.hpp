@@ -1,0 +1,70 @@
+// Shared scaffolding for the figure/table benches.
+//
+// Each bench prints (a) the paper's reference numbers next to ours, (b) an
+// ASCII speedup curve per series so the shape is visible in plain terminal
+// output, and (c) a machine-readable CSV block.  Speedups come from the
+// simulated multiprocessor (see DESIGN.md, "Substitutions": the host has a
+// single core, so the Alliant FX/80 is modeled, not timed); functional
+// correctness of every method is established by the test suite and spot-
+// checked here through the real threaded runtime.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "wlp/sim/simulator.hpp"
+#include "wlp/support/stats.hpp"
+#include "wlp/support/table.hpp"
+
+namespace wlp::bench {
+
+inline const std::vector<int>& processor_counts() {
+  static const std::vector<int> ps{1, 2, 3, 4, 5, 6, 7, 8};
+  return ps;
+}
+
+struct Series {
+  std::string label;
+  std::vector<double> speedups;  ///< one per processor count
+  double paper_at_8 = 0;         ///< the paper's value at p = 8 (0 = n/a)
+};
+
+/// Print one figure: per-series curves, the p = 8 comparison against the
+/// paper, and a CSV block.
+inline void print_figure(const std::string& title, const std::vector<Series>& series) {
+  std::printf("==== %s ====\n\n", title.c_str());
+
+  double ymax = 1;
+  for (const Series& s : series)
+    for (double v : s.speedups) ymax = std::max(ymax, v);
+  for (const Series& s : series) {
+    ascii_curve(std::cout, s.label, processor_counts(), s.speedups, ymax);
+    std::printf("\n");
+  }
+
+  TextTable cmp({"series", "paper speedup @8", "measured @8", "rel. err"});
+  for (const Series& s : series) {
+    const double at8 = s.speedups.empty() ? 0 : s.speedups.back();
+    cmp.row({s.label,
+             s.paper_at_8 > 0 ? TextTable::num(s.paper_at_8, 1) : "-",
+             TextTable::num(at8, 2),
+             s.paper_at_8 > 0
+                 ? TextTable::num(relative_error(at8, s.paper_at_8) * 100, 1) + "%"
+                 : "-"});
+  }
+  cmp.print();
+
+  std::printf("\ncsv:\np");
+  for (const Series& s : series) std::printf(",%s", s.label.c_str());
+  std::printf("\n");
+  for (std::size_t k = 0; k < processor_counts().size(); ++k) {
+    std::printf("%d", processor_counts()[k]);
+    for (const Series& s : series)
+      std::printf(",%.4f", k < s.speedups.size() ? s.speedups[k] : 0.0);
+    std::printf("\n");
+  }
+  std::printf("\n");
+}
+
+}  // namespace wlp::bench

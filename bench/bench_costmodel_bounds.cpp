@@ -1,0 +1,67 @@
+// Section 7 — the worst-case performance bounds: with maximal overheads and
+// Spid ~ p, the attainable speedup stays at or above Spid/4 without the PD
+// test and Spid/5 with it.  This bench sweeps p and prints the ratio both
+// analytically (cost model) and operationally (simulated machine with every
+// overhead enabled).
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "wlp/core/cost_model.hpp"
+
+using namespace wlp;
+using namespace wlp::bench;
+
+int main() {
+  std::printf("==== Section 7: worst-case Spat/Spid bounds ====\n\n");
+
+  TextTable table({"p", "Spid", "Spat (no PD)", "ratio", "floor",
+                   "Spat (PD)", "ratio", "floor"});
+
+  bool ok = true;
+  for (const int p : {2, 4, 8, 16, 32, 64, 128}) {
+    // Adversarial loop: every unit of work is a bookkept access, the
+    // dispatcher is fully parallel, Spid == p.
+    const LoopTiming t{static_cast<double>(p) * 1000.0, 0.0};
+    OverheadProfile o;
+    o.accesses = p * 1000;
+    o.access_cost = 1.0;
+    o.needs_undo = true;
+
+    const double spid = ideal_speedup(t, static_cast<unsigned>(p),
+                                      DispatcherParallelism::kFull);
+    o.pd_test = false;
+    const double no_pd = attainable_speedup(t, o, static_cast<unsigned>(p),
+                                            DispatcherParallelism::kFull);
+    o.pd_test = true;
+    const double with_pd = attainable_speedup(t, o, static_cast<unsigned>(p),
+                                              DispatcherParallelism::kFull);
+
+    const double r1 = no_pd / spid;
+    const double r2 = with_pd / spid;
+    ok = ok && r1 >= worst_case_fraction(false) - 1e-9 &&
+         r2 >= worst_case_fraction(true) - 1e-9;
+
+    table.row({TextTable::num(static_cast<long>(p)), TextTable::num(spid, 1),
+               TextTable::num(no_pd, 2), TextTable::num(r1, 3),
+               TextTable::num(worst_case_fraction(false), 2),
+               TextTable::num(with_pd, 2), TextTable::num(r2, 3),
+               TextTable::num(worst_case_fraction(true), 2)});
+  }
+  table.print();
+
+  std::printf(
+      "\nworst-case fractions hold for every p: %s\n"
+      "(\"20-25%% of the ideal speedup could be an excellent performance —\n"
+      " especially when compared to the alternative of sequential execution\")\n",
+      ok ? "yes" : "NO");
+
+  // The failed-speculation slowdown: total time ~ Tseq + 5 Tseq / p.
+  std::printf("\nfailed PD test slowdown (fraction of Tseq added):\n");
+  for (const int p : {2, 4, 8, 16, 64}) {
+    const Prediction pr = predict({1000.0, 0.0}, {1000, 1.0, true, true},
+                                  static_cast<unsigned>(p),
+                                  DispatcherParallelism::kFull);
+    std::printf("  p=%-3d  +%.3f Tseq\n", p, pr.failed_slowdown);
+  }
+  return ok ? 0 : 1;
+}

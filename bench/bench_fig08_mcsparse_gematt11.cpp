@@ -1,0 +1,9 @@
+// Figure 8 — MCSPARSE DFACT loop 500 on gematt11.  Paper speedup at p=8: 7.0.
+#include "mcsparse_figure.hpp"
+#include "wlp/workloads/hb_generator.hpp"
+
+int main() {
+  return wlp::bench::run_mcsparse_figure(
+      "Figure 8", "gematt11", wlp::workloads::gen_gematt11(),
+      /*accept_cost=*/0, /*paper_at_8=*/7.0);
+}

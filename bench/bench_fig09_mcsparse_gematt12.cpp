@@ -1,0 +1,9 @@
+// Figure 9 — MCSPARSE DFACT loop 500 on gematt12.  Paper speedup at p=8: 6.8.
+#include "mcsparse_figure.hpp"
+#include "wlp/workloads/hb_generator.hpp"
+
+int main() {
+  return wlp::bench::run_mcsparse_figure(
+      "Figure 9", "gematt12", wlp::workloads::gen_gematt12(),
+      /*accept_cost=*/0, /*paper_at_8=*/6.8);
+}

@@ -1,0 +1,9 @@
+// Figure 10 — MCSPARSE DFACT loop 500 on orsreg1.  Paper speedup at p=8: 4.8.
+#include "mcsparse_figure.hpp"
+#include "wlp/workloads/hb_generator.hpp"
+
+int main() {
+  return wlp::bench::run_mcsparse_figure(
+      "Figure 10", "orsreg1", wlp::workloads::gen_orsreg1(),
+      /*accept_cost=*/25, /*paper_at_8=*/4.8);
+}

@@ -1,0 +1,62 @@
+// Microbenchmark: the PD test's run-time costs (Section 5.1) — shadow
+// marking per access (the Td term) and the post-execution analysis (the Ta
+// term, O(a/p + log p)), as functions of array size and access count.
+#include <benchmark/benchmark.h>
+
+#include "wlp/core/shadow.hpp"
+#include "wlp/sched/thread_pool.hpp"
+#include "wlp/support/prng.hpp"
+
+namespace {
+
+void BM_ShadowMarkWrite(benchmark::State& state) {
+  const long n = state.range(0);
+  wlp::PDShadow shadow(static_cast<std::size_t>(n));
+  wlp::Xoshiro256 rng(3);
+  long iter = 0;
+  for (auto _ : state) {
+    shadow.mark_write(iter++, static_cast<std::size_t>(rng.below(
+                                  static_cast<std::uint64_t>(n))));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ShadowMarkWrite)->Arg(1 << 10)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_AccessorReadExposureCheck(benchmark::State& state) {
+  const long n = state.range(0);
+  wlp::PDShadow shadow(static_cast<std::size_t>(n));
+  wlp::PDAccessor acc(shadow, static_cast<std::size_t>(n));
+  acc.begin_iteration(0);
+  wlp::Xoshiro256 rng(5);
+  for (auto _ : state) {
+    const auto idx =
+        static_cast<std::size_t>(rng.below(static_cast<std::uint64_t>(n)));
+    acc.on_write(idx);
+    acc.on_read(idx);  // covered read: the cheap common path
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_AccessorReadExposureCheck)->Arg(1 << 12)->Arg(1 << 18);
+
+void BM_PostExecutionAnalysis(benchmark::State& state) {
+  const long n = state.range(0);
+  wlp::ThreadPool pool(4);
+  wlp::PDShadow shadow(static_cast<std::size_t>(n));
+  wlp::Xoshiro256 rng(7);
+  for (long k = 0; k < n; ++k) {
+    const auto idx =
+        static_cast<std::size_t>(rng.below(static_cast<std::uint64_t>(n)));
+    if (rng.chance(0.5))
+      shadow.mark_write(static_cast<long>(rng.below(1000)), idx);
+    else
+      shadow.mark_exposed_read(static_cast<long>(rng.below(1000)), idx);
+  }
+  for (auto _ : state) {
+    const wlp::PDVerdict v = shadow.analyze(pool, 500);
+    benchmark::DoNotOptimize(v);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_PostExecutionAnalysis)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+}  // namespace

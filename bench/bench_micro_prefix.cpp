@@ -1,0 +1,53 @@
+// Microbenchmark: parallel prefix evaluation of associative recurrences
+// (Section 3.2) vs direct sequential evaluation, across problem sizes.
+// On a single-core host the parallel version shows its overhead rather than
+// a speedup; the complexity shape O(n/p + log p) is validated structurally
+// by the tests and the simulator.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+
+#include "wlp/sched/parallel_prefix.hpp"
+
+namespace {
+
+void BM_SequentialRecurrence(benchmark::State& state) {
+  const long n = state.range(0);
+  for (auto _ : state) {
+    std::uint64_t x = 7;
+    for (long i = 0; i < n; ++i) {
+      x = 6364136223846793005ULL * x + 1442695040888963407ULL;
+      benchmark::DoNotOptimize(x);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SequentialRecurrence)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_ParallelPrefixRecurrence(benchmark::State& state) {
+  const long n = state.range(0);
+  wlp::ThreadPool pool(4);
+  for (auto _ : state) {
+    auto terms = wlp::affine_recurrence_terms<std::uint64_t>(
+        pool, 7, 6364136223846793005ULL, 1442695040888963407ULL, n);
+    benchmark::DoNotOptimize(terms.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ParallelPrefixRecurrence)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_GenericScanSum(benchmark::State& state) {
+  const long n = state.range(0);
+  wlp::ThreadPool pool(4);
+  std::vector<long> base(static_cast<std::size_t>(n), 1);
+  for (auto _ : state) {
+    std::vector<long> xs = base;
+    wlp::parallel_inclusive_scan(pool, std::span<long>(xs), 0L,
+                                 [](long a, long b) { return a + b; });
+    benchmark::DoNotOptimize(xs.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_GenericScanSum)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+}  // namespace

@@ -1,0 +1,88 @@
+// Microbenchmark: the undo machinery's costs (Section 4) — checkpointing
+// (Tb), stamped writes (Td), selective undo and full restore (Ta), and the
+// hash-table alternative for sparse access patterns.
+#include <benchmark/benchmark.h>
+
+#include "wlp/core/privatize.hpp"
+#include "wlp/core/sparse_backup.hpp"
+#include "wlp/core/versioned_array.hpp"
+#include "wlp/support/prng.hpp"
+
+namespace {
+
+void BM_Checkpoint(benchmark::State& state) {
+  const long n = state.range(0);
+  wlp::VersionedArray<double> arr(std::vector<double>(static_cast<std::size_t>(n), 1.0));
+  for (auto _ : state) {
+    arr.checkpoint();
+    benchmark::ClobberMemory();
+  }
+  state.SetBytesProcessed(state.iterations() * n * 8);
+}
+BENCHMARK(BM_Checkpoint)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_StampedWrite(benchmark::State& state) {
+  const long n = state.range(0);
+  wlp::VersionedArray<double> arr(std::vector<double>(static_cast<std::size_t>(n), 0.0));
+  arr.checkpoint();
+  wlp::Xoshiro256 rng(1);
+  long iter = 0;
+  for (auto _ : state) {
+    arr.write(iter++, static_cast<std::size_t>(rng.below(
+                          static_cast<std::uint64_t>(n))),
+              1.0);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StampedWrite)->Arg(1 << 12)->Arg(1 << 18);
+
+void BM_UndoBeyond(benchmark::State& state) {
+  const long n = state.range(0);
+  for (auto _ : state) {
+    state.PauseTiming();
+    wlp::VersionedArray<double> arr(
+        std::vector<double>(static_cast<std::size_t>(n), 0.0));
+    arr.checkpoint();
+    for (long i = 0; i < n; ++i)
+      arr.write(i, static_cast<std::size_t>(i), 2.0);
+    state.ResumeTiming();
+    const long undone = arr.undo_beyond(n / 2);
+    benchmark::DoNotOptimize(undone);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_UndoBeyond)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_HashBackupRecord(benchmark::State& state) {
+  const long touched = state.range(0);
+  wlp::HashBackup<double> backup(static_cast<std::size_t>(touched) * 2);
+  wlp::Xoshiro256 rng(9);
+  long iter = 0;
+  for (auto _ : state) {
+    backup.record(iter++, static_cast<std::size_t>(rng.below(
+                              static_cast<std::uint64_t>(touched))),
+                  1.0);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HashBackupRecord)->Arg(1 << 10)->Arg(1 << 16);
+
+void BM_PrivateCopyOutScaling(benchmark::State& state) {
+  const long writes = state.range(0);
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::vector<double> shared(1 << 16, 0.0);
+    wlp::PrivatizedArray<double> priv(shared, 4);
+    wlp::Xoshiro256 rng(11);
+    for (long k = 0; k < writes; ++k)
+      priv.write(static_cast<unsigned>(k % 4), k,
+                 static_cast<std::size_t>(rng.below(1 << 16)), 1.0);
+    state.ResumeTiming();
+    const long copied = priv.copy_out(writes / 2);
+    benchmark::DoNotOptimize(copied);
+  }
+  state.SetItemsProcessed(state.iterations() * writes);
+}
+BENCHMARK(BM_PrivateCopyOutScaling)->Arg(1 << 10)->Arg(1 << 14);
+
+}  // namespace

@@ -1,0 +1,82 @@
+// Shared harness for Figures 12-14 — MA28 subroutine MA30AD, loops 270 and
+// 320: the Markowitz pivot search over rows (270) and columns (320), one
+// figure per input.
+//
+// The search runs on a *mid-factorization* active submatrix: we eliminate a
+// fraction of the pivots first (fill-in makes the row/column counts
+// heterogeneous, which is the state the MA30AD search loops actually face —
+// a fresh diagonally-dominant matrix lets the (nz-1)^2 bound fire after one
+// count level).  The two loops are sampled at different elimination stages,
+// calibrated per input to the search depths the paper's speedups imply; see
+// EXPERIMENTS.md for the calibration table.
+//
+// MA28 is a sequential program, so the parallel search must be sequentially
+// consistent: candidates are time-stamped and the pivot recovered by a
+// time-stamp-ordered reduction over the privatized per-processor results.
+// "Induction-1" here is the paper's Alliant configuration — ordered issue
+// plus QUIT, i.e. this library's while_induction2 schedule.
+#pragma once
+
+#include "bench_common.hpp"
+
+#include "wlp/workloads/hb_generator.hpp"
+#include "wlp/workloads/ma28_pivot.hpp"
+#include "wlp/workloads/sparse_lu.hpp"
+
+namespace wlp::bench {
+
+struct Ma28LoopSetup {
+  const char* label;
+  workloads::SearchAxis axis;
+  double elimination_fraction;  ///< pivots eliminated before the search
+  double paper_at_8;
+};
+
+inline int run_ma28_figure(const std::string& figure, const std::string& input,
+                           const workloads::SparseMatrix& matrix,
+                           const Ma28LoopSetup& loop270,
+                           const Ma28LoopSetup& loop320) {
+  ThreadPool pool;
+  const sim::Simulator sim;
+  sim::SimOptions stamped;
+  stamped.stamps = true;
+  stamped.checkpoint = true;
+
+  std::vector<Series> series;
+  int rc = 0;
+
+  for (const Ma28LoopSetup& l : {loop270, loop320}) {
+    workloads::MarkowitzLU lu(matrix);
+    lu.factor_steps(static_cast<std::int32_t>(
+        static_cast<double>(matrix.rows()) * l.elimination_fraction));
+    const workloads::Ma28PivotSearch search(lu.active_submatrix(), {0.1, l.axis});
+
+    // Functional check: sequential consistency of the parallel search.
+    ExecReport rt;
+    const workloads::PivotCandidate par = search.search_induction1(pool, rt);
+    long depth = 0;
+    const workloads::PivotCandidate seq = search.search_sequential(&depth);
+    if (par.row != seq.row || par.col != seq.col || rt.trip != depth) {
+      std::printf("FUNCTIONAL FAILURE: %s parallel pivot differs\n", l.label);
+      rc = 1;
+    }
+
+    const sim::LoopProfile profile = search.profile();
+    series.push_back({std::string(l.label) + " Induction-1",
+                      sim.speedup_curve(Method::kInduction2, profile,
+                                        processor_counts(), stamped),
+                      l.paper_at_8});
+    series.push_back({std::string(l.label) + " General-3",
+                      sim.speedup_curve(Method::kGeneral3, profile,
+                                        processor_counts(), stamped),
+                      0});
+    std::printf("%s: active submatrix n=%d, search depth %ld of %ld candidates\n",
+                l.label, lu.n() - lu.pivots_done(), depth, search.candidates());
+  }
+
+  print_figure(figure + ": MA28 MA30AD loops 270/320, input " + input, series);
+  std::printf("backups + time-stamps on: pivots reduced in time-stamp order\n");
+  return rc;
+}
+
+}  // namespace wlp::bench

@@ -1,0 +1,57 @@
+// Shared harness for Figures 8-11 — MCSPARSE subroutine DFACT, loop 500:
+// the WHILE-DOANY pivot search, one figure per Harwell-Boeing input.
+//
+// The search is order-insensitive: iterations examine rows/columns of the
+// matrix in arbitrary order and the first acceptable pivot ends the loop.
+// Although the terminator is RV and the parallel execution overshoots,
+// DOANY needs no backups and no time-stamps — any admissible pivot is a
+// correct answer.  Available parallelism is input dependent: it is the
+// number of candidates the search must burn through before one is
+// acceptable, which the acceptance bound below calibrates per input to the
+// search depth implied by the paper's speedups (see EXPERIMENTS.md).
+#pragma once
+
+#include "bench_common.hpp"
+
+#include "wlp/workloads/mcsparse_pivot.hpp"
+
+namespace wlp::bench {
+
+inline int run_mcsparse_figure(const std::string& figure,
+                               const std::string& input,
+                               const workloads::SparseMatrix& matrix,
+                               long accept_cost, double paper_at_8,
+                               std::uint64_t order_seed = 500) {
+  ThreadPool pool;
+  workloads::DoanyConfig cfg;
+  cfg.accept_cost = accept_cost;
+  cfg.seed = order_seed;
+  const workloads::McsparsePivotSearch search(matrix, cfg);
+
+  // Functional check: DOANY must return an acceptable pivot.
+  ExecReport rt;
+  const workloads::PivotCandidate p = search.search_doany(pool, rt);
+  if (!p.valid() || !search.acceptable(p)) {
+    std::printf("FUNCTIONAL FAILURE: DOANY returned no acceptable pivot\n");
+    return 1;
+  }
+
+  long seq_trip = 0;
+  search.search_sequential(&seq_trip);
+
+  const sim::Simulator sim;
+  const sim::LoopProfile profile = search.profile();
+
+  std::vector<Series> series;
+  series.push_back({"WHILE-DOANY (" + input + ")",
+                    sim.speedup_curve(Method::kDoany, profile, processor_counts()),
+                    paper_at_8});
+  print_figure(figure + ": MCSPARSE DFACT loop 500, input " + input, series);
+
+  std::printf("n=%d nnz=%ld  candidates=%ld  sequential search depth=%ld\n"
+              "no backups, no time-stamps (order-insensitive search)\n",
+              matrix.rows(), matrix.nnz(), search.candidates(), seq_trip);
+  return 0;
+}
+
+}  // namespace wlp::bench

@@ -1,0 +1,235 @@
+#include "wlp/analysis/depgraph.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+
+namespace wlp::ir {
+
+void DepGraph::add(DepEdge e) {
+  succ[static_cast<std::size_t>(e.from)].push_back(static_cast<int>(edges.size()));
+  edges.push_back(std::move(e));
+}
+
+namespace {
+
+/// Array-access pair dependence under the simple ZIV/strong-SIV tests.
+struct ArrayDep {
+  bool exists = false;
+  bool carried_fwd = false;  ///< earlier-textual access is the earlier-iteration source
+  bool carried_bwd = false;  ///< later-textual access is the earlier-iteration source
+  bool independent = false;  ///< same-iteration overlap
+  bool unknown = false;
+};
+
+ArrayDep test_pair(const AffineSubscript& s1, const AffineSubscript& s2,
+                   long max_iters) {
+  ArrayDep d;
+  if (!s1.affine || !s2.affine) {
+    d.exists = d.carried_fwd = d.carried_bwd = d.independent = d.unknown = true;
+    return d;
+  }
+  if (s1.a == 0 && s2.a == 0) {  // ZIV
+    if (s1.b == s2.b) {
+      d.exists = true;
+      d.carried_fwd = d.carried_bwd = d.independent = true;
+    }
+    return d;
+  }
+  if (s1.a == s2.a) {  // strong SIV: a*i1 + b1 == a*i2 + b2
+    const long a = s1.a;
+    const long diff = s1.b - s2.b;
+    if (diff % a != 0) return d;
+    const long dist = diff / a;  // i2 = i1 + dist
+    if (max_iters > 0 && std::abs(dist) >= max_iters) return d;
+    d.exists = true;
+    if (dist == 0) {
+      d.independent = true;
+    } else if (dist > 0) {
+      d.carried_fwd = true;  // access1's iteration precedes access2's
+    } else {
+      d.carried_bwd = true;
+    }
+    return d;
+  }
+  // Weak SIV / MIV: be conservative.
+  d.exists = d.carried_fwd = d.carried_bwd = d.independent = true;
+  return d;
+}
+
+}  // namespace
+
+DepGraph build_dep_graph(const Loop& loop) {
+  const std::vector<StmtInfo> info = summarize(loop);
+  const int n = static_cast<int>(loop.body.size());
+  DepGraph g;
+  g.n = n;
+  g.succ.assign(static_cast<std::size_t>(n), {});
+
+  auto kind_of = [](bool src_write, bool dst_write) {
+    if (src_write && dst_write) return DepKind::kOutput;
+    if (src_write) return DepKind::kFlow;
+    return DepKind::kAnti;
+  };
+
+  // --- scalar dependences (unique defs enforced by validate()) -------------
+  for (int s = 0; s < n; ++s) {
+    for (const auto& x : info[static_cast<std::size_t>(s)].scalar_defs) {
+      for (int t = 0; t < n; ++t) {
+        const bool uses = info[static_cast<std::size_t>(t)].scalar_uses.count(x) > 0;
+        if (!uses) continue;
+        // Scalar ANTI and OUTPUT dependences are never added: distribution
+        // expands cross-block scalars into per-iteration arrays (see
+        // run_distributed) and privatizes block-local ones, which removes
+        // all memory-related scalar dependences — this is what lets the
+        // paper split Fig. 3(a) into the recurrence loop and the WORK loop
+        // even though WORK's read of r is anti-dependent on the next
+        // update of r.  Only FLOW dependences constrain the distribution.
+        if (t == s) {
+          // x = f(x): the use reads the previous iteration's def.
+          g.add({s, s, DepKind::kFlow, /*carried=*/true, false, x});
+        } else if (s < t) {
+          // def textually before use: same-iteration flow.
+          g.add({s, t, DepKind::kFlow, false, false, x});
+        } else {
+          // use textually before def: the use reads last iteration's def.
+          g.add({s, t, DepKind::kFlow, true, false, x});
+        }
+      }
+    }
+  }
+
+  // --- array dependences -----------------------------------------------------
+  for (int s = 0; s < n; ++s) {
+    for (const auto& a1 : info[static_cast<std::size_t>(s)].accesses) {
+      for (int t = s; t < n; ++t) {
+        for (const auto& a2 : info[static_cast<std::size_t>(t)].accesses) {
+          if (a1.array != a2.array) continue;
+          if (!a1.is_write && !a2.is_write) continue;
+          const ArrayDep d = test_pair(a1.sub, a2.sub, loop.max_iters);
+          if (!d.exists) continue;
+          if (s == t && &a1 == &a2) {
+            // One access vs itself across iterations (e.g. A[3] = i every
+            // iteration): only a carried self dependence is meaningful.
+            if (d.carried_fwd || d.carried_bwd)
+              g.add({s, s, kind_of(a1.is_write, a1.is_write), true, d.unknown,
+                     a1.array});
+            continue;
+          }
+          if (d.independent && s != t) {
+            g.add({s, t, kind_of(a1.is_write, a2.is_write), false, d.unknown,
+                   a1.array});
+          }
+          if (d.carried_fwd) {
+            g.add({s, t, kind_of(a1.is_write, a2.is_write), true, d.unknown,
+                   a1.array});
+          }
+          if (d.carried_bwd) {
+            g.add({t, s, kind_of(a2.is_write, a1.is_write), true, d.unknown,
+                   a1.array});
+          }
+        }
+      }
+    }
+  }
+
+  // --- control dependences from exit-ifs -------------------------------------
+  for (int e = 0; e < n; ++e) {
+    if (!info[static_cast<std::size_t>(e)].is_exit) continue;
+    for (int s = 0; s < n; ++s) {
+      if (s == e) continue;
+      // Textually later statements of the same iteration, and every
+      // statement of later iterations, are control dependent on the exit.
+      g.add({e, s, DepKind::kControl, /*carried=*/s < e, false, ""});
+    }
+  }
+
+  return g;
+}
+
+std::vector<std::string> privatizable_scalars(const Loop& loop) {
+  const std::vector<StmtInfo> info = summarize(loop);
+  std::set<std::string> out;
+  const int n = static_cast<int>(loop.body.size());
+  for (int s = 0; s < n; ++s) {
+    for (const auto& x : info[static_cast<std::size_t>(s)].scalar_defs) {
+      bool def_first = true;
+      for (int t = 0; t < n && def_first; ++t)
+        if (t <= s && info[static_cast<std::size_t>(t)].scalar_uses.count(x))
+          def_first = false;  // used at or before its def: carried flow
+      if (def_first) out.insert(x);
+    }
+  }
+  return {out.begin(), out.end()};
+}
+
+std::vector<std::string> unanalyzable_arrays(const Loop& loop) {
+  std::set<std::string> out;
+  for (const StmtInfo& si : summarize(loop))
+    for (const ArrayAccess& a : si.accesses)
+      if (!a.sub.affine) out.insert(a.array);
+  return {out.begin(), out.end()};
+}
+
+std::vector<std::vector<int>> strongly_connected_components(const DepGraph& g) {
+  // Tarjan, recursive (loop bodies are small).
+  const int n = g.n;
+  std::vector<int> idx(static_cast<std::size_t>(n), -1);
+  std::vector<int> low(static_cast<std::size_t>(n), 0);
+  std::vector<bool> on_stack(static_cast<std::size_t>(n), false);
+  std::vector<int> stack;
+  std::vector<std::vector<int>> sccs;
+  int counter = 0;
+
+  std::function<void(int)> strongconnect = [&](int v) {
+    idx[static_cast<std::size_t>(v)] = low[static_cast<std::size_t>(v)] = counter++;
+    stack.push_back(v);
+    on_stack[static_cast<std::size_t>(v)] = true;
+    for (int ei : g.succ[static_cast<std::size_t>(v)]) {
+      const int w = g.edges[static_cast<std::size_t>(ei)].to;
+      if (idx[static_cast<std::size_t>(w)] == -1) {
+        strongconnect(w);
+        low[static_cast<std::size_t>(v)] =
+            std::min(low[static_cast<std::size_t>(v)], low[static_cast<std::size_t>(w)]);
+      } else if (on_stack[static_cast<std::size_t>(w)]) {
+        low[static_cast<std::size_t>(v)] =
+            std::min(low[static_cast<std::size_t>(v)], idx[static_cast<std::size_t>(w)]);
+      }
+    }
+    if (low[static_cast<std::size_t>(v)] == idx[static_cast<std::size_t>(v)]) {
+      std::vector<int> comp;
+      for (;;) {
+        const int w = stack.back();
+        stack.pop_back();
+        on_stack[static_cast<std::size_t>(w)] = false;
+        comp.push_back(w);
+        if (w == v) break;
+      }
+      std::sort(comp.begin(), comp.end());
+      sccs.push_back(std::move(comp));
+    }
+  };
+
+  // Start from the highest statement so that, after the reversal below,
+  // mutually independent components come out in textual order (any reverse
+  // finish order of Tarjan is topologically valid; this choice also makes
+  // it deterministic and natural to read).
+  for (int v = n - 1; v >= 0; --v)
+    if (idx[static_cast<std::size_t>(v)] == -1) strongconnect(v);
+
+  // Tarjan emits components in reverse topological order.
+  std::reverse(sccs.begin(), sccs.end());
+  return sccs;
+}
+
+std::string to_string(DepKind k) {
+  switch (k) {
+    case DepKind::kFlow:    return "flow";
+    case DepKind::kAnti:    return "anti";
+    case DepKind::kOutput:  return "output";
+    case DepKind::kControl: return "control";
+  }
+  return "?";
+}
+
+}  // namespace wlp::ir

@@ -1,0 +1,58 @@
+// Statement-level data dependence graph over a loop body — Section 2's
+// prerequisite for loop distribution and Section 6's driver for recursive
+// recurrence extraction.
+//
+// Edge classification follows the paper's Section 5 vocabulary: flow (read
+// after write), anti (write after read), output (write after write), plus
+// control edges from exit-if statements to everything textually after them.
+// Each edge records whether it is loop-carried and whether it stems from an
+// access the analysis could not resolve (unknown subscript -> the PD test's
+// territory).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "wlp/analysis/loop_ir.hpp"
+
+namespace wlp::ir {
+
+enum class DepKind { kFlow, kAnti, kOutput, kControl };
+
+struct DepEdge {
+  int from = 0;
+  int to = 0;
+  DepKind kind = DepKind::kFlow;
+  bool loop_carried = false;
+  bool unknown = false;     ///< from an unanalyzable subscript
+  std::string var;          ///< the variable inducing the edge
+};
+
+struct DepGraph {
+  int n = 0;
+  std::vector<DepEdge> edges;
+  std::vector<std::vector<int>> succ;  ///< adjacency (edge indices per node)
+
+  void add(DepEdge e);
+};
+
+/// Build the dependence graph of `loop`.
+DepGraph build_dep_graph(const Loop& loop);
+
+/// Arrays referenced through at least one unanalyzable subscript; these are
+/// the candidates Section 5 speculates on with the PD test.
+std::vector<std::string> unanalyzable_arrays(const Loop& loop);
+
+/// Scalars whose definition textually precedes every use: their carried anti
+/// dependences are removable by privatization (the Fig. 5(b) `tmp` case),
+/// and build_dep_graph omits those edges accordingly.
+std::vector<std::string> privatizable_scalars(const Loop& loop);
+
+/// Strongly connected components of the graph, returned in a topological
+/// order of the condensation (sources first).  Each component lists
+/// statement indices in textual order.
+std::vector<std::vector<int>> strongly_connected_components(const DepGraph& g);
+
+std::string to_string(DepKind k);
+
+}  // namespace wlp::ir

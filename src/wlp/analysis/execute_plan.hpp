@@ -1,0 +1,48 @@
+// Parallel execution of a planned loop — the end of the automatic
+// transformation pipeline.
+//
+// run_parallel_plan() takes an ir::Loop, the ParallelPlan produced by
+// make_plan() (dependence graph -> distribution -> fusion -> method
+// selection) and executes the loop against an Env using the runtime:
+//
+//   * induction dispatcher blocks evaluate their closed form directly;
+//   * associative dispatcher blocks evaluate their terms with the REAL
+//     parallel prefix computation (AffineMap scan, Section 3.2);
+//   * general recurrence blocks walk their chain sequentially into the
+//     expansion (the inherently sequential case);
+//   * parallel blocks run as DOALLs via doall_quit, with every array write
+//     logged with its (iteration, statement) time-stamp;
+//   * unknown-access blocks additionally drive PD shadow marking, and a
+//     failed verdict falls back to a plain sequential execution;
+//   * sequential blocks run as DOACROSS pipelines (ordered, overlapped is
+//     not attempted for interpreted statements — program order preserved);
+//   * exits distribute with their blocks; after all blocks ran, only the
+//     writes valid under the final exit set are replayed onto the entry
+//     state — the undo step of Section 4, in write-log form.
+//
+// The contract (enforced by tests): final Env state and trip count are
+// identical to run_sequential(), up to floating-point reassociation in
+// parallel-prefix-evaluated recurrences.
+//
+// Thread-safety requirement on Env: the call table's functions must be
+// pure/thread-safe (they are invoked concurrently).
+#pragma once
+
+#include "wlp/analysis/plan.hpp"
+#include "wlp/sched/thread_pool.hpp"
+
+namespace wlp::ir {
+
+struct PlanExecution {
+  long trip = 0;
+  bool speculation_failed = false;  ///< PD verdict failed -> sequential rerun
+  long parallel_blocks = 0;         ///< blocks executed as DOALLs
+  long prefix_blocks = 0;           ///< recurrences evaluated by parallel prefix
+  long logged_writes = 0;
+  long discarded_writes = 0;  ///< overshot writes dropped during replay
+};
+
+PlanExecution run_parallel_plan(ThreadPool& pool, const Loop& loop,
+                                const ParallelPlan& plan, Env& env);
+
+}  // namespace wlp::ir

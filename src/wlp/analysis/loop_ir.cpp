@@ -1,0 +1,341 @@
+#include "wlp/analysis/loop_ir.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace wlp::ir {
+
+namespace {
+ExprPtr make(Expr e) { return std::make_shared<const Expr>(std::move(e)); }
+}  // namespace
+
+ExprPtr cnst(double v) {
+  Expr e;
+  e.kind = ExprKind::kConst;
+  e.value = v;
+  return make(std::move(e));
+}
+
+ExprPtr index() {
+  Expr e;
+  e.kind = ExprKind::kIndex;
+  return make(std::move(e));
+}
+
+ExprPtr scalar(std::string name) {
+  Expr e;
+  e.kind = ExprKind::kScalar;
+  e.name = std::move(name);
+  return make(std::move(e));
+}
+
+ExprPtr array(std::string name, ExprPtr subscript) {
+  Expr e;
+  e.kind = ExprKind::kArray;
+  e.name = std::move(name);
+  e.a = std::move(subscript);
+  return make(std::move(e));
+}
+
+ExprPtr bin(char op, ExprPtr lhs, ExprPtr rhs) {
+  Expr e;
+  e.kind = ExprKind::kBinary;
+  e.op = op;
+  e.a = std::move(lhs);
+  e.b = std::move(rhs);
+  return make(std::move(e));
+}
+
+ExprPtr call(std::string fn, ExprPtr arg) {
+  Expr e;
+  e.kind = ExprKind::kCall;
+  e.name = std::move(fn);
+  e.a = std::move(arg);
+  return make(std::move(e));
+}
+
+Stmt assign_scalar(std::string name, ExprPtr rhs) {
+  Stmt s;
+  s.kind = StmtKind::kAssignScalar;
+  s.lhs = std::move(name);
+  s.rhs = std::move(rhs);
+  return s;
+}
+
+Stmt assign_array(std::string name, ExprPtr subscript, ExprPtr rhs) {
+  Stmt s;
+  s.kind = StmtKind::kAssignArray;
+  s.lhs = std::move(name);
+  s.subscript = std::move(subscript);
+  s.rhs = std::move(rhs);
+  return s;
+}
+
+Stmt exit_if(ExprPtr cond) {
+  Stmt s;
+  s.kind = StmtKind::kExitIf;
+  s.rhs = std::move(cond);
+  return s;
+}
+
+Stmt guarded(Stmt s, ExprPtr cond) {
+  s.guard = std::move(cond);
+  return s;
+}
+
+double eval(const ExprPtr& e, const Env& env, long i) {
+  if (!e) throw std::runtime_error("eval: null expression");
+  switch (e->kind) {
+    case ExprKind::kConst:
+      return e->value;
+    case ExprKind::kIndex:
+      return static_cast<double>(i);
+    case ExprKind::kScalar: {
+      const auto it = env.scalars.find(e->name);
+      if (it == env.scalars.end())
+        throw std::runtime_error("eval: undefined scalar " + e->name);
+      return it->second;
+    }
+    case ExprKind::kArray: {
+      const auto it = env.arrays.find(e->name);
+      if (it == env.arrays.end())
+        throw std::runtime_error("eval: undefined array " + e->name);
+      const auto idx = static_cast<long>(eval(e->a, env, i));
+      if (idx < 0 || idx >= static_cast<long>(it->second.size()))
+        throw std::runtime_error("eval: " + e->name + " index out of range");
+      return it->second[static_cast<std::size_t>(idx)];
+    }
+    case ExprKind::kBinary: {
+      const double l = eval(e->a, env, i);
+      const double r = eval(e->b, env, i);
+      switch (e->op) {
+        case '+': return l + r;
+        case '-': return l - r;
+        case '*': return l * r;
+        case '/': return l / r;
+        case '<': return l < r ? 1.0 : 0.0;
+        case '>': return l > r ? 1.0 : 0.0;
+        case 'L': return l <= r ? 1.0 : 0.0;
+        case 'G': return l >= r ? 1.0 : 0.0;
+        case '=': return l == r ? 1.0 : 0.0;
+        case '!': return l != r ? 1.0 : 0.0;
+        default:
+          throw std::runtime_error(std::string("eval: bad operator ") + e->op);
+      }
+    }
+    case ExprKind::kCall: {
+      const auto it = env.funcs.find(e->name);
+      if (it == env.funcs.end())
+        throw std::runtime_error("eval: undefined function " + e->name);
+      return it->second(eval(e->a, env, i));
+    }
+  }
+  throw std::runtime_error("eval: bad expression kind");
+}
+
+long run_sequential(const Loop& loop, Env& env) {
+  for (long i = 0; i < loop.max_iters; ++i) {
+    for (const Stmt& s : loop.body) {
+      if (s.guard && eval(s.guard, env, i) == 0.0) continue;
+      switch (s.kind) {
+        case StmtKind::kExitIf:
+          if (eval(s.rhs, env, i) != 0.0) return i;
+          break;
+        case StmtKind::kAssignScalar:
+          env.scalars[s.lhs] = eval(s.rhs, env, i);
+          break;
+        case StmtKind::kAssignArray: {
+          const auto idx = static_cast<long>(eval(s.subscript, env, i));
+          auto& arr = env.arrays.at(s.lhs);
+          if (idx < 0 || idx >= static_cast<long>(arr.size()))
+            throw std::runtime_error("store: " + s.lhs + " index out of range");
+          arr[static_cast<std::size_t>(idx)] = eval(s.rhs, env, i);
+          break;
+        }
+      }
+    }
+  }
+  return loop.max_iters;
+}
+
+std::optional<std::string> validate(const Loop& loop) {
+  std::set<std::string> assigned;
+  for (std::size_t k = 0; k < loop.body.size(); ++k) {
+    const Stmt& s = loop.body[k];
+    if (!s.rhs) return "statement " + std::to_string(k) + ": null rhs";
+    if (s.kind == StmtKind::kAssignArray && !s.subscript)
+      return "statement " + std::to_string(k) + ": null subscript";
+    if (s.kind == StmtKind::kAssignScalar) {
+      if (!assigned.insert(s.lhs).second)
+        return "scalar " + s.lhs + " assigned more than once";
+    }
+  }
+  return std::nullopt;
+}
+
+// ---------------------------------------------------------------------------
+// Access analysis
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Result of linear pattern matching: value = a*i + b, or not linear.
+struct Linear {
+  bool ok = false;
+  long a = 0;
+  long b = 0;
+};
+
+bool integral(double v, long& out) {
+  const double r = std::nearbyint(v);
+  if (std::abs(v - r) > 1e-9) return false;
+  out = static_cast<long>(r);
+  return true;
+}
+
+Linear match_linear(const ExprPtr& e) {
+  Linear fail;
+  if (!e) return fail;
+  switch (e->kind) {
+    case ExprKind::kConst: {
+      long c;
+      if (!integral(e->value, c)) return fail;
+      return {true, 0, c};
+    }
+    case ExprKind::kIndex:
+      return {true, 1, 0};
+    case ExprKind::kBinary: {
+      const Linear l = match_linear(e->a);
+      const Linear r = match_linear(e->b);
+      if (!l.ok || !r.ok) return fail;
+      switch (e->op) {
+        case '+': return {true, l.a + r.a, l.b + r.b};
+        case '-': return {true, l.a - r.a, l.b - r.b};
+        case '*':
+          // Only linear if one side is constant.
+          if (l.a == 0) return {true, l.b * r.a, l.b * r.b};
+          if (r.a == 0) return {true, r.b * l.a, r.b * l.b};
+          return fail;
+        default:
+          return fail;
+      }
+    }
+    default:
+      return fail;  // scalar reads, array reads, calls: unknown subscript
+  }
+}
+
+void collect_uses(const ExprPtr& e, StmtInfo& info) {
+  if (!e) return;
+  switch (e->kind) {
+    case ExprKind::kConst:
+    case ExprKind::kIndex:
+      return;
+    case ExprKind::kScalar:
+      info.scalar_uses.insert(e->name);
+      return;
+    case ExprKind::kArray: {
+      ArrayAccess acc;
+      acc.array = e->name;
+      acc.sub = analyze_subscript(e->a);
+      acc.is_write = false;
+      info.accesses.push_back(std::move(acc));
+      collect_uses(e->a, info);  // subscript's own reads are uses too
+      return;
+    }
+    case ExprKind::kBinary:
+      collect_uses(e->a, info);
+      collect_uses(e->b, info);
+      return;
+    case ExprKind::kCall:
+      collect_uses(e->a, info);
+      return;
+  }
+}
+
+}  // namespace
+
+AffineSubscript analyze_subscript(const ExprPtr& e) {
+  const Linear l = match_linear(e);
+  AffineSubscript s;
+  s.affine = l.ok;
+  s.a = l.a;
+  s.b = l.b;
+  return s;
+}
+
+std::vector<StmtInfo> summarize(const Loop& loop) {
+  std::vector<StmtInfo> out;
+  out.reserve(loop.body.size());
+  for (const Stmt& s : loop.body) {
+    StmtInfo info;
+    collect_uses(s.rhs, info);
+    if (s.guard) collect_uses(s.guard, info);
+    switch (s.kind) {
+      case StmtKind::kAssignScalar:
+        info.scalar_defs.insert(s.lhs);
+        // Conditional def: when the guard fails the old value persists, so
+        // the statement is also a use of its own target.
+        if (s.guard) info.scalar_uses.insert(s.lhs);
+        break;
+      case StmtKind::kAssignArray: {
+        ArrayAccess acc;
+        acc.array = s.lhs;
+        acc.sub = analyze_subscript(s.subscript);
+        acc.is_write = true;
+        info.accesses.push_back(std::move(acc));
+        collect_uses(s.subscript, info);
+        break;
+      }
+      case StmtKind::kExitIf:
+        info.is_exit = true;
+        break;
+    }
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+std::string to_string(const ExprPtr& e) {
+  if (!e) return "<null>";
+  std::ostringstream os;
+  switch (e->kind) {
+    case ExprKind::kConst:
+      os << e->value;
+      break;
+    case ExprKind::kIndex:
+      os << "i";
+      break;
+    case ExprKind::kScalar:
+      os << e->name;
+      break;
+    case ExprKind::kArray:
+      os << e->name << "[" << to_string(e->a) << "]";
+      break;
+    case ExprKind::kBinary:
+      os << "(" << to_string(e->a) << ' ' << e->op << ' ' << to_string(e->b) << ")";
+      break;
+    case ExprKind::kCall:
+      os << e->name << "(" << to_string(e->a) << ")";
+      break;
+  }
+  return os.str();
+}
+
+std::string to_string(const Stmt& s) {
+  const std::string prefix =
+      s.guard ? "if " + to_string(s.guard) + ": " : std::string{};
+  switch (s.kind) {
+    case StmtKind::kAssignScalar:
+      return prefix + s.lhs + " = " + to_string(s.rhs);
+    case StmtKind::kAssignArray:
+      return prefix + s.lhs + "[" + to_string(s.subscript) + "] = " +
+             to_string(s.rhs);
+    case StmtKind::kExitIf:
+      return prefix + "exit-if " + to_string(s.rhs);
+  }
+  return "?";
+}
+
+}  // namespace wlp::ir

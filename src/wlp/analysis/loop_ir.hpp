@@ -1,0 +1,144 @@
+// A small loop intermediate representation — the substrate for the
+// "automatic transformation" side of the paper (Sections 2 and 6).
+//
+// A WHILE loop (normalized to a DO loop with conditional exits over an
+// iteration counter, as Section 2 prescribes: "all array references in the
+// WHILE loop have to be associated with a loop counter") is a list of
+// statements over scalar and array variables:
+//
+//   assign-scalar   x  = expr
+//   assign-array    A[sub] = expr
+//   exit-if         cond          (one of the loop's termination conditions)
+//
+// Expressions are a tiny AST: constants, the loop index, scalar reads,
+// array reads, binary arithmetic/comparison, and opaque unary calls
+// (`next(p)`, `f(x)` — the general recurrences and loop-external functions).
+//
+// Restrictions (checked by validate()): every scalar is assigned by at most
+// one statement (single-assignment per loop body, the form a compiler's
+// renaming pass produces), and subscripts are either affine in the loop
+// index or classified as "unknown" (subscripted subscripts etc.), which is
+// exactly the case the PD test exists for.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace wlp::ir {
+
+enum class ExprKind {
+  kConst,   ///< literal
+  kIndex,   ///< the loop counter i
+  kScalar,  ///< scalar variable read
+  kArray,   ///< array element read, subscript in `a`
+  kBinary,  ///< binary op `op` over a, b
+  kCall,    ///< opaque unary call name(a) — user-supplied semantics
+};
+
+struct Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+struct Expr {
+  ExprKind kind{};
+  double value = 0;  ///< kConst
+  std::string name;  ///< scalar / array / call name
+  ExprPtr a, b;      ///< operands
+  char op = 0;       ///< '+','-','*','/','<','>','L' (<=),'G' (>=),'=' ,'!'(ne)
+};
+
+ExprPtr cnst(double v);
+ExprPtr index();
+ExprPtr scalar(std::string name);
+ExprPtr array(std::string name, ExprPtr subscript);
+ExprPtr bin(char op, ExprPtr lhs, ExprPtr rhs);
+ExprPtr call(std::string fn, ExprPtr arg);
+
+enum class StmtKind { kAssignScalar, kAssignArray, kExitIf };
+
+struct Stmt {
+  StmtKind kind{};
+  std::string lhs;    ///< assigned scalar/array name (empty for kExitIf)
+  ExprPtr subscript;  ///< kAssignArray only
+  ExprPtr rhs;        ///< assigned value, or the exit condition
+  ExprPtr guard;      ///< optional: the statement executes only when != 0
+};
+
+Stmt assign_scalar(std::string name, ExprPtr rhs);
+Stmt assign_array(std::string name, ExprPtr subscript, ExprPtr rhs);
+Stmt exit_if(ExprPtr cond);
+
+/// Attach a guard: `if (cond) s`.  A guarded scalar assignment behaves as
+/// x = cond ? rhs : x, i.e. it is also a USE of x — the dependence analysis
+/// accounts for that (conditional defs carry the previous value forward).
+Stmt guarded(Stmt s, ExprPtr cond);
+
+struct Loop {
+  std::string name = "loop";
+  long max_iters = 0;  ///< upper bound u on the iteration space
+  std::vector<Stmt> body;
+};
+
+/// Interpretation environment: scalar and array state plus the semantics of
+/// opaque calls.  Arrays are dense doubles; calls are double -> double.
+struct Env {
+  std::map<std::string, double> scalars;
+  std::map<std::string, std::vector<double>> arrays;
+  std::map<std::string, std::function<double(double)>> funcs;
+};
+
+/// Evaluate `e` at iteration `i` against `env`.  Throws std::runtime_error
+/// on undefined names or out-of-range array accesses.
+double eval(const ExprPtr& e, const Env& env, long i);
+
+/// Reference sequential execution.  Returns the trip count: the iteration
+/// at which an exit-if fired (statements before it in that iteration have
+/// executed), or max_iters.
+long run_sequential(const Loop& loop, Env& env);
+
+/// Structural checks (unique scalar assignment, non-null operands).
+/// Returns an explanation for the first violation, or nullopt if valid.
+std::optional<std::string> validate(const Loop& loop);
+
+// ---------------------------------------------------------------------------
+// Access analysis
+// ---------------------------------------------------------------------------
+
+/// Subscript classification: affine a*i + b with integer coefficients, or
+/// unknown (anything else: subscripted subscripts, nonlinear, scalar-
+/// dependent).
+struct AffineSubscript {
+  bool affine = false;
+  long a = 0;
+  long b = 0;
+};
+
+/// Pattern-match a subscript expression against c1*i + c0 forms.
+AffineSubscript analyze_subscript(const ExprPtr& e);
+
+struct ArrayAccess {
+  std::string array;
+  AffineSubscript sub;
+  bool is_write = false;
+};
+
+/// Per-statement definition/use summary.
+struct StmtInfo {
+  std::set<std::string> scalar_defs;
+  std::set<std::string> scalar_uses;
+  std::vector<ArrayAccess> accesses;
+  bool is_exit = false;
+};
+
+/// Summarize each statement of the loop body.
+std::vector<StmtInfo> summarize(const Loop& loop);
+
+/// Render expressions/statements for diagnostics and plan dumps.
+std::string to_string(const ExprPtr& e);
+std::string to_string(const Stmt& s);
+
+}  // namespace wlp::ir

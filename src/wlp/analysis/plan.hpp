@@ -1,0 +1,45 @@
+// Parallelization planning: from a distributed/fused loop to the concrete
+// Section 3/5 method per block, with the Table 1 taxonomy deciding whether
+// undo machinery is required and Section 7's cost model gating the whole
+// transformation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "wlp/analysis/distribute.hpp"
+#include "wlp/core/cost_model.hpp"
+#include "wlp/core/report.hpp"
+#include "wlp/core/taxonomy.hpp"
+
+namespace wlp::ir {
+
+struct PlanStep {
+  Block block;
+  wlp::Method method = wlp::Method::kSequential;
+  bool speculative = false;  ///< run under the PD test
+  bool needs_undo = false;   ///< checkpoint + time-stamps + post-loop undo
+  std::string note;
+};
+
+struct ParallelPlan {
+  std::vector<PlanStep> steps;
+  wlp::DispatcherKind dispatcher = wlp::DispatcherKind::kGeneral;
+  wlp::TerminatorClass terminator = wlp::TerminatorClass::kRemainderInvariant;
+  bool may_overshoot = false;
+  std::vector<std::string> privatized_scalars;
+  std::vector<std::string> pd_arrays;  ///< arrays needing run-time testing
+  bool recommended = true;             ///< cost-model verdict (if timing given)
+  double predicted_speedup = 0;
+
+  std::string to_text(const Loop& loop) const;
+};
+
+/// Build the full plan: dependence graph -> distribute -> fuse -> classify
+/// exits (RI/RV) -> select a method per block -> optional cost-model gate.
+/// `timing`, if provided, drives the Section 7 go/no-go decision for `p`
+/// processors.
+ParallelPlan make_plan(const Loop& loop, unsigned p = 8,
+                       const wlp::LoopTiming* timing = nullptr);
+
+}  // namespace wlp::ir

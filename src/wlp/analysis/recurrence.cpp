@@ -1,0 +1,173 @@
+#include "wlp/analysis/recurrence.hpp"
+
+#include <cmath>
+
+namespace wlp::ir {
+
+namespace {
+
+/// Match rhs against c (constant), x (the recurrence scalar itself), and the
+/// linear forms a*x + b; returns false when no linear-in-x form applies.
+struct LinearInVar {
+  bool ok = false;
+  double a = 0;
+  double b = 0;
+};
+
+LinearInVar match_linear_in(const ExprPtr& e, const std::string& var) {
+  LinearInVar fail;
+  if (!e) return fail;
+  switch (e->kind) {
+    case ExprKind::kConst:
+      return {true, 0.0, e->value};
+    case ExprKind::kScalar:
+      if (e->name == var) return {true, 1.0, 0.0};
+      return fail;  // other scalars: treat as opaque (not loop-invariant-proven)
+    case ExprKind::kBinary: {
+      const LinearInVar l = match_linear_in(e->a, var);
+      const LinearInVar r = match_linear_in(e->b, var);
+      if (!l.ok || !r.ok) return fail;
+      switch (e->op) {
+        case '+': return {true, l.a + r.a, l.b + r.b};
+        case '-': return {true, l.a - r.a, l.b - r.b};
+        case '*':
+          if (l.a == 0.0) return {true, l.b * r.a, l.b * r.b};
+          if (r.a == 0.0) return {true, r.b * l.a, r.b * l.b};
+          return fail;
+        case '/':
+          if (r.a == 0.0 && r.b != 0.0) return {true, l.a / r.b, l.b / r.b};
+          return fail;
+        default:
+          return fail;
+      }
+    }
+    default:
+      return fail;
+  }
+}
+
+/// Match rhs against fn(x) where the only variable mention is `var`.
+bool match_call_of(const ExprPtr& e, const std::string& var, std::string& fn) {
+  if (!e || e->kind != ExprKind::kCall) return false;
+  if (!e->a || e->a->kind != ExprKind::kScalar || e->a->name != var) return false;
+  fn = e->name;
+  return true;
+}
+
+bool has_unknown_access(const Loop& loop, std::span<const int> component) {
+  const auto info = summarize(loop);
+  for (int s : component)
+    for (const auto& acc : info[static_cast<std::size_t>(s)].accesses)
+      if (!acc.sub.affine) return true;
+  return false;
+}
+
+bool has_carried_dep(const DepGraph& g, std::span<const int> component) {
+  for (int v : component)
+    for (int ei : g.succ[static_cast<std::size_t>(v)]) {
+      const DepEdge& e = g.edges[static_cast<std::size_t>(ei)];
+      if (!e.loop_carried) continue;
+      for (int w : component)
+        if (e.to == w) return true;
+    }
+  return false;
+}
+
+}  // namespace
+
+RecurrenceInfo classify_component(const Loop& loop, const DepGraph& g,
+                                  std::span<const int> component) {
+  RecurrenceInfo rec;
+  for (int s : component)
+    if (loop.body[static_cast<std::size_t>(s)].kind == StmtKind::kExitIf)
+      rec.contains_exit = true;
+
+  if (has_unknown_access(loop, component)) {
+    rec.kind = BlockKind::kUnknownAccess;
+    return rec;
+  }
+
+  if (!has_carried_dep(g, component)) {
+    rec.kind = BlockKind::kParallel;
+    return rec;
+  }
+
+  // A recognizable recurrence: the component's assignments must form a
+  // single self-recursive scalar definition (plus, possibly, the exit that
+  // is strongly connected to it).
+  const Stmt* def = nullptr;
+  int defs = 0;
+  for (int s : component) {
+    const Stmt& st = loop.body[static_cast<std::size_t>(s)];
+    if (st.kind == StmtKind::kAssignScalar) {
+      def = &st;
+      ++defs;
+    } else if (st.kind == StmtKind::kAssignArray) {
+      // Array writes inside a cycle: treat the block as plain sequential.
+      rec.kind = BlockKind::kSequential;
+      return rec;
+    }
+  }
+  if (defs != 1 || def == nullptr) {
+    rec.kind = BlockKind::kSequential;
+    return rec;
+  }
+
+  if (def->guard) {
+    // A conditional self-update (if (c) x = f(x)) is not a closed-form
+    // induction or a scannable recurrence: its terms depend on which guards
+    // held, so it stays sequential.
+    rec.kind = BlockKind::kSequential;
+    return rec;
+  }
+
+  rec.var = def->lhs;
+  const LinearInVar lin = match_linear_in(def->rhs, def->lhs);
+  if (lin.ok && lin.a == 1.0) {
+    rec.kind = BlockKind::kInduction;
+    rec.add = lin.b;
+    rec.mul = 1.0;
+    return rec;
+  }
+  if (lin.ok) {
+    rec.kind = BlockKind::kAssociative;
+    rec.mul = lin.a;
+    rec.add = lin.b;
+    return rec;
+  }
+  std::string fn;
+  if (match_call_of(def->rhs, def->lhs, fn)) {
+    rec.kind = BlockKind::kGeneralRecurrence;
+    rec.call_name = fn;
+    return rec;
+  }
+  rec.kind = BlockKind::kSequential;
+  return rec;
+}
+
+wlp::DispatcherKind dispatcher_kind(const RecurrenceInfo& rec) {
+  switch (rec.kind) {
+    case BlockKind::kInduction:
+      // A nonzero constant step makes the induction monotonic.
+      return rec.add != 0.0 ? wlp::DispatcherKind::kMonotonicInduction
+                            : wlp::DispatcherKind::kInduction;
+    case BlockKind::kAssociative:
+      return wlp::DispatcherKind::kAssociative;
+    default:
+      return wlp::DispatcherKind::kGeneral;
+  }
+}
+
+std::string to_string(BlockKind k) {
+  switch (k) {
+    case BlockKind::kParallel:          return "parallel";
+    case BlockKind::kInduction:         return "induction";
+    case BlockKind::kAssociative:       return "associative";
+    case BlockKind::kGeneralRecurrence: return "general-recurrence";
+    case BlockKind::kSequential:        return "sequential";
+    case BlockKind::kUnknownAccess:     return "unknown-access";
+  }
+  return "?";
+}
+
+}  // namespace wlp::ir

@@ -1,0 +1,50 @@
+// Recurrence classification of dependence-graph components — the bridge
+// from the dependence analysis to the Table 1 taxonomy.
+//
+// Each strongly connected component of the loop body is classified as:
+//   * parallel             — no carried dependence inside it
+//   * induction            — x = x +/- c           (closed form; Section 3.1)
+//   * associative          — x = a*x + b           (parallel prefix; 3.2)
+//   * general recurrence   — x = next(x) and such  (sequential chain; 3.3)
+//   * sequential           — a multi-statement cycle with no recognized form
+//   * unknown access       — touches an unanalyzable subscript; candidate
+//                            for speculative execution + the PD test (Sec. 5)
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "wlp/analysis/depgraph.hpp"
+#include "wlp/core/taxonomy.hpp"
+
+namespace wlp::ir {
+
+enum class BlockKind {
+  kParallel,
+  kInduction,
+  kAssociative,
+  kGeneralRecurrence,
+  kSequential,
+  kUnknownAccess,
+};
+
+struct RecurrenceInfo {
+  BlockKind kind = BlockKind::kSequential;
+  std::string var;        ///< the recurrence variable (scalar recurrences)
+  double add = 0;         ///< induction step / associative b
+  double mul = 1;         ///< associative a
+  std::string call_name;  ///< general recurrence's step function
+  bool contains_exit = false;
+};
+
+/// Classify one SCC (statement indices in textual order).
+RecurrenceInfo classify_component(const Loop& loop, const DepGraph& g,
+                                  std::span<const int> component);
+
+/// The DispatcherKind a recurrence block maps to in the Table 1 taxonomy.
+/// `monotonic` requires an induction with a nonzero single-signed step.
+wlp::DispatcherKind dispatcher_kind(const RecurrenceInfo& rec);
+
+std::string to_string(BlockKind k);
+
+}  // namespace wlp::ir

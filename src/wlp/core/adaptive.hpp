@@ -1,0 +1,89 @@
+// Run-time adaptation — the paper's closing direction (Sections 7 and 11):
+// "it would be useful to estimate the number of iterations in the loop
+// using information such as branch statistics", and "our methods should
+// make use of run-time collected information about the parallel/not
+// parallel nature of the loop".
+//
+// LoopStatistics accumulates, across invocations of one loop site:
+//   * observed trip counts              -> the n_i estimate and the
+//                                          statistics-enhanced stamping
+//                                          threshold of Section 8.1,
+//   * speculation outcomes (pass/fail)  -> the empirical probability the
+//                                          loop is parallel, feeding the
+//                                          Section 7 go/no-go decision.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "wlp/core/cost_model.hpp"
+#include "wlp/core/report.hpp"
+#include "wlp/core/strategies.hpp"
+
+namespace wlp {
+
+class LoopStatistics {
+ public:
+  /// Record one completed execution of the loop site.
+  void record(const ExecReport& r) {
+    ++invocations_;
+    trip_sum_ += r.trip;
+    trip_max_ = std::max(trip_max_, r.trip);
+    if (r.pd_tested) {
+      ++speculations_;
+      if (!r.pd_passed) ++failures_;
+    }
+  }
+
+  /// Also usable with plain trip observations (profiling runs).
+  void record_trip(long trip) {
+    ++invocations_;
+    trip_sum_ += trip;
+    trip_max_ = std::max(trip_max_, trip);
+  }
+
+  long invocations() const noexcept { return invocations_; }
+
+  /// The n_i estimate of Section 8.1.
+  long estimated_trip() const noexcept {
+    return invocations_ > 0 ? trip_sum_ / invocations_ : 0;
+  }
+
+  /// Confidence in the estimate: how tight past trips were around the mean
+  /// (1 = always identical; decreases as the max diverges from the mean).
+  double confidence() const noexcept {
+    if (invocations_ == 0 || trip_max_ == 0) return 0.0;
+    return static_cast<double>(estimated_trip()) /
+           static_cast<double>(trip_max_);
+  }
+
+  /// The statistics-enhanced stamping threshold: n'_i = confidence * n_i.
+  StampThreshold stamp_threshold() const {
+    return StampThreshold::from_estimate(estimated_trip(), confidence());
+  }
+
+  /// Empirical probability a speculation on this loop succeeds.
+  double parallel_probability() const noexcept {
+    if (speculations_ == 0) return 1.0;  // optimistic until contradicted
+    return 1.0 - static_cast<double>(failures_) /
+                     static_cast<double>(speculations_);
+  }
+
+  /// The go/no-go decision of Section 7, weighted by the failure history:
+  /// expected speedup = P(parallel) * Spat + (1-P) * 1/(1 + slowdown).
+  bool should_speculate(const Prediction& pred) const noexcept {
+    const double p = parallel_probability();
+    const double expected =
+        p * pred.spat + (1.0 - p) / (1.0 + pred.failed_slowdown);
+    return expected > 1.05;
+  }
+
+ private:
+  long invocations_ = 0;
+  long trip_sum_ = 0;
+  long trip_max_ = 0;
+  long speculations_ = 0;
+  long failures_ = 0;
+};
+
+}  // namespace wlp

@@ -1,0 +1,98 @@
+// Privatization with copy-in and time-stamp-ordered copy-out — Sections 4/5.
+//
+// Each virtual processor gets a private copy of the shared array (copy-in of
+// the pre-loop values).  Because a private location may legitimately be
+// written by *several* iterations of a valid parallel loop, last-value
+// copy-out cannot use a single stamp per location: the paper prescribes a
+// time-stamped *trail* of writes, from which copy-out selects, per location,
+// the value with the largest stamp that is not larger than the last valid
+// iteration.
+//
+// Whether privatization was *valid* (every read preceded by a same-iteration
+// write, per the Privatization Criterion) is the PD test's job — this class
+// only provides the mechanism.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "wlp/sched/thread_pool.hpp"
+#include "wlp/support/cacheline.hpp"
+
+namespace wlp {
+
+template <class T>
+class PrivatizedArray {
+ public:
+  struct TrailEntry {
+    long iter;
+    std::size_t idx;
+    T value;
+    std::uint64_t seq;  ///< per-worker sequence number: breaks same-iteration ties
+  };
+
+  /// `shared` stays owned by the caller; its pre-loop contents are the
+  /// copy-in source and it receives the copy-out.
+  PrivatizedArray(std::vector<T>& shared, unsigned workers)
+      : shared_(shared),
+        copies_(workers, std::vector<T>(shared)),
+        trails_(workers),
+        seq_(workers, Padded<std::uint64_t>(0)) {}
+
+  /// Private read on worker `vpn`.
+  const T& read(unsigned vpn, std::size_t idx) const noexcept {
+    return copies_[vpn][idx];
+  }
+
+  /// Private write by iteration `iter` on worker `vpn`; appends to the trail
+  /// so the live value can be copied out later.
+  void write(unsigned vpn, long iter, std::size_t idx, const T& v) {
+    copies_[vpn][idx] = v;
+    trails_[vpn].value.push_back({iter, idx, v, seq_[vpn].value++});
+  }
+
+  /// Copy out the last valid value of every written location: the trail
+  /// entry with the largest (iter, seq) among entries with iter < trip.
+  /// Returns the number of locations copied out.
+  long copy_out(long trip) {
+    // Gather all valid entries, then keep the max-(iter, seq) per index.
+    std::vector<TrailEntry> all;
+    for (auto& t : trails_)
+      for (const auto& e : t.value)
+        if (e.iter < trip) all.push_back(e);
+
+    std::sort(all.begin(), all.end(), [](const TrailEntry& a, const TrailEntry& b) {
+      if (a.idx != b.idx) return a.idx < b.idx;
+      if (a.iter != b.iter) return a.iter < b.iter;
+      return a.seq < b.seq;
+    });
+
+    long copied = 0;
+    for (std::size_t i = 0; i < all.size(); ++i) {
+      const bool last_for_idx = i + 1 == all.size() || all[i + 1].idx != all[i].idx;
+      if (last_for_idx) {
+        shared_[all[i].idx] = all[i].value;
+        ++copied;
+      }
+    }
+    return copied;
+  }
+
+  /// Total trail length (the memory cost Section 8 manages).
+  std::size_t trail_entries() const noexcept {
+    std::size_t n = 0;
+    for (const auto& t : trails_) n += t.value.size();
+    return n;
+  }
+
+  unsigned workers() const noexcept { return static_cast<unsigned>(copies_.size()); }
+
+ private:
+  std::vector<T>& shared_;
+  std::vector<std::vector<T>> copies_;
+  std::vector<Padded<std::vector<TrailEntry>>> trails_;
+  std::vector<Padded<std::uint64_t>> seq_;
+};
+
+}  // namespace wlp

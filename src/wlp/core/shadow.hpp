@@ -1,0 +1,142 @@
+// Shadow arrays for the PRIVATIZING DOALL (PD) test — Section 5.1.
+//
+// For each shared array whose accesses cannot be analyzed at compile time,
+// the speculative parallel execution traverses shadow state using the
+// array's own access pattern:
+//   * every write to element e marks e's write shadow (Aw),
+//   * every read that is NOT preceded by a same-iteration write marks e's
+//     exposed-read shadow (Ar) — exposed reads are what invalidate both
+//     independence and privatization.
+//
+// To support WHILE-loop overshoot (Section 5: "all writes to the shadow
+// arrays ... will be time-stamped, and for each shadow element we will
+// maintain the minimum iteration that marked it"), each cell keeps the TWO
+// smallest distinct writer iterations (w0 < w1) and the two smallest
+// distinct exposed-read iterations (r0 < r1).  The post-execution analysis
+// filters marks made by iterations >= the last valid iteration:
+//   written          iff w0 < trip
+//   multiply written iff w1 < trip        (output dependence -> privatize)
+//   exposed-read     iff r0 < trip
+//
+// A cross-iteration flow/anti dependence (a *conflict*) exists iff some
+// iteration writes the element and a DIFFERENT iteration exposed-reads it.
+// With the two-smallest sets that is decidable exactly:
+//   conflict iff written && exposed && (w1 < trip || r1 < trip || w0 != r0)
+// — a same-iteration read-then-write like A[i] = 2*A[i] (the paper's
+// Fig. 5(a)) leaves w0 == r0 as the only marks and correctly passes.
+//
+// The analysis itself is fully parallel, O(n/p + log p).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+#include "wlp/sched/thread_pool.hpp"
+
+namespace wlp {
+
+/// Outcome of the PD test's post-execution analysis.
+struct PDVerdict {
+  long written_elements = 0;  ///< distinct elements written by valid iterations
+  long multi_written = 0;     ///< elements written in >= 2 distinct valid iterations
+  long exposed_read_elements = 0;
+  long conflicts = 0;  ///< elements both written and exposed-read
+
+  /// Loop was fully parallel as executed (no cross-iteration dependences).
+  bool fully_parallel() const noexcept { return conflicts == 0 && multi_written == 0; }
+  /// Loop is valid as a privatized DOALL (output deps removable).
+  bool parallel_with_privatization() const noexcept { return conflicts == 0; }
+
+  PDVerdict& merge(const PDVerdict& o) noexcept {
+    written_elements += o.written_elements;
+    multi_written += o.multi_written;
+    exposed_read_elements += o.exposed_read_elements;
+    conflicts += o.conflicts;
+    return *this;
+  }
+};
+
+class PDShadow {
+ public:
+  explicit PDShadow(std::size_t n);
+
+  PDShadow(const PDShadow&) = delete;
+  PDShadow& operator=(const PDShadow&) = delete;
+
+  std::size_t size() const noexcept { return cells_.size(); }
+
+  /// Mark a write to element `idx` by iteration `iter`.
+  void mark_write(long iter, std::size_t idx) noexcept;
+
+  /// Mark an exposed read (no earlier same-iteration write) of `idx`.
+  void mark_exposed_read(long iter, std::size_t idx) noexcept;
+
+  /// Post-execution analysis considering only iterations < trip.
+  PDVerdict analyze(ThreadPool& pool, long trip) const;
+  PDVerdict analyze_seq(long trip) const;
+
+  /// Clear all marks (reuse across strips / runs).
+  void reset() noexcept;
+
+  /// Diagnostic accessors (tests).
+  long first_writer(std::size_t idx) const noexcept;
+  long second_writer(std::size_t idx) const noexcept;
+  long first_exposed_reader(std::size_t idx) const noexcept;
+  long second_exposed_reader(std::size_t idx) const noexcept;
+
+ private:
+  static constexpr long kNone = -1;
+
+  /// Two smallest distinct iteration numbers, CAS-free under a stripe lock.
+  struct TwoSmallest {
+    std::atomic<long> lo{kNone};
+    std::atomic<long> hi{kNone};
+  };
+  struct Cell {
+    TwoSmallest w;  ///< writer iterations
+    TwoSmallest r;  ///< exposed-read iterations
+  };
+
+  void insert(TwoSmallest& set, long iter, std::size_t idx) noexcept;
+
+  PDVerdict analyze_cell(const Cell& c, long trip) const noexcept;
+
+  void lock_stripe(std::size_t idx) noexcept;
+  void unlock_stripe(std::size_t idx) noexcept;
+
+  std::vector<Cell> cells_;
+  static constexpr std::size_t kStripes = 1024;
+  mutable std::array<std::atomic_flag, kStripes> locks_{};
+};
+
+/// Per-worker access recorder: decides read exposure using a worker-local
+/// last-writer epoch array, then forwards marks to the shared shadow.
+/// One accessor per (array, worker); call begin_iteration before each
+/// iteration's accesses.
+class PDAccessor {
+ public:
+  PDAccessor(PDShadow& shadow, std::size_t n)
+      : shadow_(&shadow), last_write_(n, -1) {}
+
+  void begin_iteration(long iter) noexcept { iter_ = iter; }
+
+  void on_read(std::size_t idx) {
+    if (last_write_[idx] != iter_) shadow_->mark_exposed_read(iter_, idx);
+  }
+
+  void on_write(std::size_t idx) {
+    last_write_[idx] = iter_;
+    shadow_->mark_write(iter_, idx);
+  }
+
+  long iteration() const noexcept { return iter_; }
+
+ private:
+  PDShadow* shadow_;
+  long iter_ = -1;
+  std::vector<long> last_write_;
+};
+
+}  // namespace wlp

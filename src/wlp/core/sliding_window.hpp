@@ -1,0 +1,121 @@
+// Resource-controlled self-scheduling — Section 8.2.
+//
+// A sliding window of size w bounds the spread between the minimum
+// not-yet-completed iteration l and the maximum issued iteration h:
+// h - l <= w at all times, so time-stamp memory is bounded by w times the
+// writes per iteration *without* the rigid global barriers of strip-mining.
+// The window is adjusted dynamically at the application level against a
+// memory budget: grown while the stamp footprint is comfortably under
+// budget, shrunk when it approaches it.
+#pragma once
+
+#include <algorithm>
+#include <condition_variable>
+#include <limits>
+#include <mutex>
+#include <vector>
+
+#include "wlp/core/report.hpp"
+#include "wlp/sched/doall.hpp"
+#include "wlp/sched/thread_pool.hpp"
+
+namespace wlp {
+
+struct WindowOptions {
+  long window = 64;          ///< initial window size
+  long min_window = 2;
+  long max_window = 1 << 20;
+  std::size_t bytes_per_iteration = 0;  ///< stamp memory one iteration pins
+  std::size_t memory_budget = 0;        ///< 0 disables dynamic adjustment
+};
+
+struct WindowReport {
+  ExecReport exec;
+  long max_span = 0;       ///< max (h - l) observed; must stay <= max window used
+  long final_window = 0;   ///< window size when the loop ended
+  std::size_t peak_stamp_bytes = 0;
+};
+
+/// Execute `body(i, vpn) -> IterAction` over [0, u) with windowed dynamic
+/// self-scheduling.  Honors QUIT like the other methods.
+template <class Body>
+WindowReport sliding_window_while(ThreadPool& pool, long u, Body&& body,
+                                  WindowOptions opts = {}) {
+  WindowReport wr;
+  wr.exec.method = Method::kSlidingWindow;
+  if (u <= 0) return wr;
+
+  std::mutex mu;
+  std::condition_variable cv;
+  long next = 0;  // next iteration to issue
+  long low = 0;   // min iteration not yet completed
+  // The budget caps the window outright: w * bytes_per_iteration <= budget
+  // is the guarantee (peak stamp memory is bounded by the window).
+  long hard_max = opts.max_window;
+  if (opts.memory_budget != 0 && opts.bytes_per_iteration != 0)
+    hard_max = std::min<long>(
+        hard_max, std::max<long>(opts.min_window,
+                                 static_cast<long>(opts.memory_budget /
+                                                   opts.bytes_per_iteration)));
+  long window = std::clamp(opts.window, opts.min_window, hard_max);
+  std::vector<unsigned char> done(static_cast<std::size_t>(u), 0);
+  QuitBound quit;
+  long trip_candidate = std::numeric_limits<long>::max();
+  long started = 0;
+  long max_span = 0;
+  std::size_t peak_bytes = 0;
+
+  pool.parallel([&](unsigned vpn) {
+    for (;;) {
+      long i;
+      {
+        std::unique_lock lock(mu);
+        cv.wait(lock, [&] {
+          return next >= u || quit.cut(next) || next - low < window;
+        });
+        if (next >= u || quit.cut(next)) return;
+        i = next++;
+        max_span = std::max(max_span, next - low);
+        if (opts.memory_budget != 0 && opts.bytes_per_iteration != 0) {
+          const std::size_t in_use =
+              static_cast<std::size_t>(next - low) * opts.bytes_per_iteration;
+          peak_bytes = std::max(peak_bytes, in_use);
+          // Multiplicative decrease when occupancy approaches the budget,
+          // additive increase while comfortably under it — always inside
+          // the hard cap derived from the budget.
+          if (in_use * 2 > opts.memory_budget) {
+            window = std::max(opts.min_window, window / 2);
+          } else {
+            window = std::min(hard_max, window + 1);
+          }
+        }
+        ++started;
+      }
+
+      const IterAction act = body(i, vpn);
+      if (act == IterAction::kExit) quit.quit(i);
+      if (act == IterAction::kExitAfter) quit.quit(i + 1);
+
+      {
+        std::lock_guard lock(mu);
+        if (act == IterAction::kExit)
+          trip_candidate = std::min(trip_candidate, i);
+        if (act == IterAction::kExitAfter)
+          trip_candidate = std::min(trip_candidate, i + 1);
+        done[static_cast<std::size_t>(i)] = 1;
+        while (low < u && done[static_cast<std::size_t>(low)]) ++low;
+      }
+      cv.notify_all();
+    }
+  });
+
+  wr.exec.trip = std::min(trip_candidate, u);
+  wr.exec.started = started;
+  wr.exec.overshot = std::max(0L, started - wr.exec.trip);
+  wr.max_span = max_span;
+  wr.final_window = window;
+  wr.peak_stamp_bytes = peak_bytes;
+  return wr;
+}
+
+}  // namespace wlp

@@ -1,0 +1,133 @@
+// Hash-table backup for sparse access patterns — Section 4.
+//
+// "If the access pattern of any array in the loop is known to be sparse,
+// then the memory requirements could be reduced by using hash tables ...
+// since only the elements of the array accessed in the loop would be
+// inserted."  HashBackup<T> is a fixed-capacity, open-addressing concurrent
+// map from array index to (pre-loop value, max writer stamp).  The first
+// writer of a location claims a slot and saves the old value; subsequent
+// writers only raise the stamp.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "wlp/support/prng.hpp"
+
+namespace wlp {
+
+template <class T>
+class HashBackup {
+ public:
+  static constexpr std::size_t kEmpty = static_cast<std::size_t>(-1);
+
+  /// `capacity` is rounded up to a power of two and should exceed the
+  /// expected number of *distinct* written locations by ~2x.
+  explicit HashBackup(std::size_t capacity) {
+    std::size_t cap = 16;
+    while (cap < capacity) cap <<= 1;
+    slots_ = std::vector<Slot>(cap);
+    mask_ = cap - 1;
+  }
+
+  /// Record that iteration `iter` is about to overwrite data[idx], whose
+  /// current (possibly pre-loop) value is `old_value`.  Only the first
+  /// recorder's old value is kept — by construction that is the pre-loop
+  /// value, because every writer records before writing.
+  void record(long iter, std::size_t idx, const T& old_value) {
+    Slot& s = find_or_claim(idx, &old_value);
+    // fetch-max on the stamp
+    long cur = s.stamp.load(std::memory_order_relaxed);
+    while (iter > cur &&
+           !s.stamp.compare_exchange_weak(cur, iter, std::memory_order_acq_rel)) {
+    }
+  }
+
+  /// Restore into `data` every recorded location whose stamp >= trip.
+  /// Returns the number restored.
+  long undo_into(std::vector<T>& data, long trip) {
+    long undone = 0;
+    for (auto& s : slots_) {
+      const std::size_t key = s.key.load(std::memory_order_acquire);
+      if (key == kEmpty) continue;
+      if (s.stamp.load(std::memory_order_relaxed) >= trip) {
+        data[key] = s.saved;
+        ++undone;
+      }
+    }
+    return undone;
+  }
+
+  /// Restore everything recorded (failed speculation).
+  long restore_all_into(std::vector<T>& data) {
+    return undo_into(data, -1);
+  }
+
+  std::size_t entries() const noexcept {
+    return occupied_.load(std::memory_order_relaxed);
+  }
+
+  std::size_t capacity() const noexcept { return slots_.size(); }
+
+  /// Drop every recorded entry (commit point in strip-wise drivers).
+  void clear() noexcept {
+    for (auto& s : slots_) {
+      s.key.store(kEmpty, std::memory_order_relaxed);
+      s.stamp.store(-1, std::memory_order_relaxed);
+    }
+    occupied_.store(0, std::memory_order_relaxed);
+  }
+
+  /// Bytes of backup state actually in use — the quantity the Section 8
+  /// window controller budgets against.
+  std::size_t memory_bytes() const noexcept {
+    return entries() * sizeof(Slot);
+  }
+
+ private:
+  struct Slot {
+    std::atomic<std::size_t> key{kEmpty};
+    std::atomic<long> stamp{-1};
+    T saved{};
+  };
+
+  Slot& find_or_claim(std::size_t idx, const T* old_value) {
+    std::size_t h = static_cast<std::size_t>(mix64(idx)) & mask_;
+    for (std::size_t probes = 0; probes <= mask_; ++probes) {
+      Slot& s = slots_[h];
+      std::size_t key = s.key.load(std::memory_order_acquire);
+      if (key == idx) return s;
+      if (key == kEmpty) {
+        // Write the payload first, then publish the key: a reader that sees
+        // the key (via acquire) also sees the saved value.
+        std::size_t expected = kEmpty;
+        // Claim attempt: we must not write `saved` before owning the slot,
+        // so claim with a reserved marker first is overkill here — instead
+        // CAS the key last but stage the value through a per-slot race:
+        // only the winning CAS's thread writes `saved` (losers retry), and
+        // undo_into runs after the parallel section (happens-before via the
+        // pool join), so the value is visible by then.
+        if (s.key.compare_exchange_strong(expected, idx,
+                                          std::memory_order_acq_rel)) {
+          s.saved = *old_value;
+          occupied_.fetch_add(1, std::memory_order_relaxed);
+          return s;
+        }
+        if (expected == idx) return s;  // someone else claimed it for us
+        // else: claimed for a different index; keep probing
+      }
+      h = (h + 1) & mask_;
+    }
+    throw std::runtime_error("HashBackup: capacity exhausted");
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t mask_ = 0;
+  std::atomic<std::size_t> occupied_{0};
+};
+
+}  // namespace wlp

@@ -1,0 +1,87 @@
+// A SpecTarget backed by a hash-table backup instead of a full checkpoint —
+// Section 4's alternative for sparse access patterns, plugged into the same
+// speculative drivers as SpecArray.
+//
+// The shared array is NOT copied: the backup records, on first write, the
+// pre-loop value of each touched location.  Backup memory is therefore
+// proportional to the touched set, which is the whole point ("less memory
+// would be needed in this case since only the elements of the array
+// accessed in the loop would be inserted into the hash table").
+//
+// Shadow marking for the PD test is optional and, when enabled, also sized
+// to the array (dense shadows; a hash-table shadow variant is a possible
+// further refinement the paper hints at).
+#pragma once
+
+#include <vector>
+
+#include "wlp/core/sparse_backup.hpp"
+#include "wlp/core/speculative.hpp"
+
+namespace wlp {
+
+template <class T>
+class SparseSpecArray final : public SpecTarget {
+ public:
+  /// `shared` stays owned by the caller and is mutated in place.
+  /// `expected_writes` sizes the backup (distinct locations, ~2x headroom
+  /// is added internally by HashBackup's power-of-two rounding).
+  SparseSpecArray(std::vector<T>& shared, unsigned workers,
+                  std::size_t expected_writes, bool run_pd_test)
+      : data_(shared),
+        backup_(expected_writes * 2),
+        pd_(run_pd_test),
+        shadow_(shared.size()) {
+    accessors_.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w)
+      accessors_.emplace_back(shadow_, shared.size());
+  }
+
+  // ---- body-side API -----------------------------------------------------
+
+  void begin_iteration(unsigned vpn, long iter) {
+    if (pd_) accessors_[vpn].begin_iteration(iter);
+  }
+
+  T get(unsigned vpn, std::size_t idx) {
+    if (pd_) accessors_[vpn].on_read(idx);
+    return data_[idx];
+  }
+
+  void set(unsigned vpn, long iter, std::size_t idx, const T& v) {
+    if (pd_) accessors_[vpn].on_write(idx);
+    backup_.record(iter, idx, data_[idx]);  // save-before-write
+    data_[idx] = v;
+  }
+
+  std::vector<T>& data() noexcept { return data_; }
+
+  std::size_t backup_entries() const noexcept { return backup_.entries(); }
+  std::size_t backup_bytes() const noexcept { return backup_.memory_bytes(); }
+
+  // ---- SpecTarget ----------------------------------------------------------
+
+  void checkpoint() override {}  // incremental: nothing to do up front
+  long undo_beyond(long trip, ThreadPool* /*pool*/) override {
+    return backup_.undo_into(data_, trip);
+  }
+  void restore_all() override { backup_.restore_all_into(data_); }
+  bool shadowed() const override { return pd_; }
+  PDVerdict analyze(ThreadPool& pool, long trip) const override {
+    return shadow_.analyze(pool, trip);
+  }
+  void reset_marks() override {
+    shadow_.reset();
+    backup_.clear();
+  }
+  void discard() override { backup_.clear(); }
+
+ private:
+  std::vector<T>& data_;
+  HashBackup<T> backup_;
+  bool pd_;
+  PDShadow shadow_;
+  std::vector<PDAccessor> accessors_;
+};
+
+}  // namespace wlp

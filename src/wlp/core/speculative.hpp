@@ -1,0 +1,164 @@
+// Speculative parallel execution of WHILE loops with unknown cross-iteration
+// dependences — Section 5.
+//
+// The compiler (or the user, through this API) cannot prove the remainder
+// independent, so the loop runs speculatively as a DOALL with the PD test's
+// shadow marking woven into every access.  After the run:
+//   * the last valid iteration (trip) is recovered from the QUIT minima,
+//   * the PD analysis — filtered by trip, so overshot iterations' marks are
+//     ignored — decides whether the parallel execution was valid,
+//   * on success, overshot writes are undone via the time-stamps,
+//   * on failure (or an exception during the run, Section 5.1), all state is
+//     restored from the checkpoint and the loop re-executes sequentially.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "wlp/core/report.hpp"
+#include "wlp/core/shadow.hpp"
+#include "wlp/core/versioned_array.hpp"
+#include "wlp/sched/doall.hpp"
+
+namespace wlp {
+
+/// Type-erased interface over one array participating in a speculation.
+class SpecTarget {
+ public:
+  virtual ~SpecTarget() = default;
+  virtual void checkpoint() = 0;
+  virtual long undo_beyond(long trip, ThreadPool* pool) = 0;
+  virtual void restore_all() = 0;
+  virtual bool shadowed() const = 0;
+  virtual PDVerdict analyze(ThreadPool& pool, long trip) const = 0;
+  virtual void reset_marks() = 0;
+  /// Commit: the speculation succeeded with no overshoot in this region,
+  /// the backup state can be dropped (strip-by-strip drivers use this).
+  virtual void discard() = 0;
+};
+
+/// A shared array under speculation: versioned data + (optionally) a PD
+/// shadow with one accessor per worker.  Loop bodies use the vpn-qualified
+/// get/set, which both maintain the stamps and drive the shadow marking.
+template <class T>
+class SpecArray final : public SpecTarget {
+ public:
+  /// `run_pd_test` = false means the accesses are statically analyzable
+  /// (only time-stamping for undo is needed, no shadow marking).
+  SpecArray(std::vector<T> init, unsigned workers, bool run_pd_test)
+      : array_(std::move(init)), pd_(run_pd_test), shadow_(array_.size()) {
+    accessors_.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w)
+      accessors_.emplace_back(shadow_, array_.size());
+  }
+
+  // ---- body-side API -----------------------------------------------------
+
+  /// Must be called by the body at the top of every iteration, per worker.
+  void begin_iteration(unsigned vpn, long iter) {
+    if (pd_) accessors_[vpn].begin_iteration(iter);
+  }
+
+  T get(unsigned vpn, std::size_t idx) {
+    if (pd_) accessors_[vpn].on_read(idx);
+    return array_.get(idx);
+  }
+
+  void set(unsigned vpn, long iter, std::size_t idx, const T& v) {
+    if (pd_) accessors_[vpn].on_write(idx);
+    array_.write(iter, idx, v);
+  }
+
+  // ---- sequential-side API (fallback path, verification) ------------------
+
+  std::vector<T>& data() noexcept { return array_.data(); }
+  const std::vector<T>& data() const noexcept { return array_.data(); }
+
+  // ---- SpecTarget ----------------------------------------------------------
+
+  void checkpoint() override { array_.checkpoint(); }
+  long undo_beyond(long trip, ThreadPool* pool) override {
+    return array_.undo_beyond(trip, pool);
+  }
+  void restore_all() override { array_.restore_all(); }
+  bool shadowed() const override { return pd_; }
+  PDVerdict analyze(ThreadPool& pool, long trip) const override {
+    return shadow_.analyze(pool, trip);
+  }
+  void reset_marks() override {
+    shadow_.reset();
+    array_.clear_stamps();
+  }
+  void discard() override { array_.discard_checkpoint(); }
+
+ private:
+  VersionedArray<T> array_;
+  bool pd_;
+  PDShadow shadow_;
+  std::vector<PDAccessor> accessors_;
+};
+
+struct SpecOptions {
+  DoallOptions doall{};
+  bool undo_in_parallel = true;
+};
+
+/// Run a WHILE loop speculatively in parallel over [0, u).
+///
+/// `body(i, vpn) -> IterAction` is the instrumented parallel body: it must
+/// route every access to the registered targets through their get/set and
+/// call begin_iteration first.  `run_sequential() -> long` executes the loop
+/// serially against the targets' raw data() and returns the trip count; it
+/// is invoked only after a full restore when speculation fails.
+template <class Body, class SeqRun>
+ExecReport speculative_while(ThreadPool& pool, long u,
+                             std::span<SpecTarget* const> targets, Body&& body,
+                             SeqRun&& run_sequential, SpecOptions opts = {}) {
+  ExecReport r;
+  r.method = Method::kInduction2;
+  r.used_checkpoint = true;
+  r.used_stamps = true;
+
+  for (SpecTarget* t : targets) {
+    t->reset_marks();
+    t->checkpoint();
+  }
+
+  bool failed = false;
+  QuitResult qr{};
+  try {
+    qr = doall_quit(pool, 0, u, body, opts.doall);
+  } catch (...) {
+    // Section 5.1: treat exceptions like an invalid parallel execution.
+    failed = true;
+  }
+
+  if (!failed) {
+    r.trip = qr.trip;
+    r.started = qr.started;
+    r.overshot = std::max(0L, qr.started - qr.trip);
+    for (SpecTarget* t : targets) {
+      if (!t->shadowed()) continue;
+      r.pd_tested = true;
+      const PDVerdict v = t->analyze(pool, qr.trip);
+      if (!v.fully_parallel()) {
+        r.pd_passed = false;
+        failed = true;
+      }
+    }
+  }
+
+  if (failed) {
+    for (SpecTarget* t : targets) t->restore_all();
+    r.reexecuted_sequentially = true;
+    r.trip = run_sequential();
+    return r;
+  }
+
+  for (SpecTarget* t : targets)
+    r.undone_writes += t->undo_beyond(qr.trip, opts.undo_in_parallel ? &pool : nullptr);
+  return r;
+}
+
+}  // namespace wlp

@@ -1,0 +1,111 @@
+// Strip-mined speculation — the closing case of Section 5.
+//
+// "If the termination condition of the WHILE loop is dependent (data or
+// control) upon a variable with unknown dependences ... the last valid
+// iteration of the loop might be incorrectly determined, or, even worse,
+// the termination condition might never be met (an infinite loop).  In
+// this situation, the best solution is probably to strip-mine the loop,
+// and to run the PD test on each strip."
+//
+// strip_speculative_while() therefore commits the loop strip by strip:
+//
+//   for each strip [base, base+s):
+//     checkpoint -> speculative DOALL -> PD analysis filtered by the
+//     strip's trip;
+//     on success: undo the strip's overshoot, COMMIT, continue;
+//     on failure: restore the strip, execute it sequentially (which also
+//     re-evaluates the terminator against committed state), then continue
+//     speculating on the next strip.
+//
+// Because each strip's exit decisions are validated before the next strip
+// starts, a dependence-corrupted terminator can mislead the execution by
+// at most one strip — and the sequential re-execution of that strip fixes
+// it.  The strip length also bounds the time-stamp memory (Section 8.1).
+#pragma once
+
+#include <span>
+
+#include "wlp/core/report.hpp"
+#include "wlp/core/speculative.hpp"
+
+namespace wlp {
+
+struct StripSpecReport {
+  ExecReport exec;
+  long strips_run = 0;
+  long strips_failed = 0;  ///< strips that fell back to sequential execution
+};
+
+/// `body(i, vpn) -> IterAction` is the instrumented parallel body (routes
+/// accesses through the targets).  `run_strip_sequential(base, end) -> trip`
+/// executes iterations [base, end) serially against raw data and returns
+/// the trip count (== end when no exit fires inside the strip).
+template <class Body, class SeqStrip>
+StripSpecReport strip_speculative_while(ThreadPool& pool, long u, long strip,
+                                        std::span<SpecTarget* const> targets,
+                                        Body&& body, SeqStrip&& run_strip_sequential,
+                                        SpecOptions opts = {}) {
+  StripSpecReport out;
+  out.exec.method = Method::kStripMined;
+  out.exec.used_checkpoint = true;
+  out.exec.used_stamps = true;
+  if (strip <= 0) strip = u;
+
+  for (long base = 0; base < u; base += strip) {
+    const long end = std::min(base + strip, u);
+    ++out.strips_run;
+
+    for (SpecTarget* t : targets) {
+      t->reset_marks();
+      t->checkpoint();
+    }
+
+    bool failed = false;
+    QuitResult qr{};
+    try {
+      qr = doall_quit(pool, base, end, body, opts.doall);
+    } catch (...) {
+      failed = true;
+    }
+
+    if (!failed) {
+      for (SpecTarget* t : targets) {
+        if (!t->shadowed()) continue;
+        out.exec.pd_tested = true;
+        if (!t->analyze(pool, qr.trip).fully_parallel()) {
+          out.exec.pd_passed = false;
+          failed = true;
+        }
+      }
+    }
+
+    if (failed) {
+      ++out.strips_failed;
+      for (SpecTarget* t : targets) t->restore_all();
+      const long trip = run_strip_sequential(base, end);
+      out.exec.started += trip - base;
+      if (trip < end) {
+        out.exec.trip = trip;
+        out.exec.reexecuted_sequentially = true;  // at least one strip was
+        return out;
+      }
+      continue;
+    }
+
+    out.exec.started += qr.started;
+    if (qr.trip < end) {  // the loop genuinely ends inside this strip
+      for (SpecTarget* t : targets)
+        out.exec.undone_writes +=
+            t->undo_beyond(qr.trip, opts.undo_in_parallel ? &pool : nullptr);
+      out.exec.trip = qr.trip;
+      out.exec.overshot += std::max(0L, qr.started - (qr.trip - base));
+      return out;
+    }
+    for (SpecTarget* t : targets) t->discard();
+  }
+
+  out.exec.trip = u;
+  return out;
+}
+
+}  // namespace wlp

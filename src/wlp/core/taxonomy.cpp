@@ -1,0 +1,60 @@
+#include "wlp/core/taxonomy.hpp"
+
+namespace wlp {
+
+TaxonomyCell classify(DispatcherKind d, TerminatorClass t) noexcept {
+  const bool rv = t == TerminatorClass::kRemainderVariant;
+  switch (d) {
+    case DispatcherKind::kMonotonicInduction:
+      // RI threshold on a monotonic function: the exit point can be computed
+      // (or bounded) up front, so only RV overshoots.
+      return {rv, DispatcherParallelism::kFull};
+    case DispatcherKind::kInduction:
+      // All points evaluated concurrently; overshoot in both rows.
+      return {true, DispatcherParallelism::kFull};
+    case DispatcherKind::kAssociative:
+      return {rv, DispatcherParallelism::kPrefix};
+    case DispatcherKind::kGeneral:
+      // Sequential dispatcher with RI exit (e.g. list traversal until null)
+      // stops exactly where the sequential loop does.
+      return {rv, DispatcherParallelism::kSequential};
+  }
+  return {true, DispatcherParallelism::kSequential};
+}
+
+bool may_overshoot(DispatcherKind d, TerminatorClass t) noexcept {
+  return classify(d, t).may_overshoot;
+}
+
+DispatcherParallelism dispatcher_parallelism(DispatcherKind d) noexcept {
+  return classify(d, TerminatorClass::kRemainderInvariant).parallelism;
+}
+
+std::string_view to_string(DispatcherKind d) noexcept {
+  switch (d) {
+    case DispatcherKind::kMonotonicInduction: return "monotonic-induction";
+    case DispatcherKind::kInduction:          return "induction";
+    case DispatcherKind::kAssociative:        return "associative-recurrence";
+    case DispatcherKind::kGeneral:            return "general-recurrence";
+  }
+  return "?";
+}
+
+std::string_view to_string(TerminatorClass t) noexcept {
+  switch (t) {
+    case TerminatorClass::kRemainderInvariant: return "RI";
+    case TerminatorClass::kRemainderVariant:   return "RV";
+  }
+  return "?";
+}
+
+std::string_view to_string(DispatcherParallelism p) noexcept {
+  switch (p) {
+    case DispatcherParallelism::kFull:       return "YES";
+    case DispatcherParallelism::kPrefix:     return "YES-PP";
+    case DispatcherParallelism::kSequential: return "NO";
+  }
+  return "?";
+}
+
+}  // namespace wlp

@@ -1,0 +1,56 @@
+// The WHILE-loop taxonomy of Table 1.
+//
+// A WHILE loop is characterized by its *dispatcher* (the recurrence that
+// controls it) and its *terminator* (the exit condition).  The taxonomy
+// answers two questions per cell: can a parallel execution overshoot the
+// sequential exit, and can the dispatcher itself be evaluated in parallel?
+#pragma once
+
+#include <string_view>
+
+namespace wlp {
+
+enum class DispatcherKind {
+  kMonotonicInduction,  ///< d(i) = c*i + b, monotonic; terminator a threshold
+  kInduction,           ///< closed-form induction, not monotonic w.r.t. exit
+  kAssociative,         ///< e.g. x(i) = a*x(i-k) + b: parallel prefix applies
+  kGeneral,             ///< e.g. linked-list pointer chasing: sequential chain
+};
+
+enum class TerminatorClass {
+  kRemainderInvariant,  ///< RI: depends only on the dispatcher and loop-
+                        ///< external values
+  kRemainderVariant,    ///< RV: depends on values computed by the remainder
+};
+
+enum class DispatcherParallelism {
+  kFull,        ///< closed form: all terms evaluable concurrently
+  kPrefix,      ///< parallel prefix: O(n/p + log p)
+  kSequential,  ///< inherently sequential chain of flow dependences
+};
+
+struct TaxonomyCell {
+  bool may_overshoot;
+  DispatcherParallelism parallelism;
+};
+
+/// Table 1, exactly as published.
+///
+/// Note one subtlety: the RI row shows "no overshoot" for the associative
+/// and general dispatchers because with an RI terminator the exit can be
+/// folded into the (prefix or sequential) dispatcher evaluation itself, so
+/// no remainder iteration beyond the exit is ever dispatched; the
+/// non-monotonic induction overshoots even under RI because every point of
+/// the closed form is evaluated concurrently and no single processor can
+/// bound the exit.
+TaxonomyCell classify(DispatcherKind d, TerminatorClass t) noexcept;
+
+/// Convenience wrappers over classify().
+bool may_overshoot(DispatcherKind d, TerminatorClass t) noexcept;
+DispatcherParallelism dispatcher_parallelism(DispatcherKind d) noexcept;
+
+std::string_view to_string(DispatcherKind d) noexcept;
+std::string_view to_string(TerminatorClass t) noexcept;
+std::string_view to_string(DispatcherParallelism p) noexcept;
+
+}  // namespace wlp

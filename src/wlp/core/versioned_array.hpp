@@ -1,0 +1,114 @@
+// Section 4 — undoing iterations that overshoot the termination condition.
+//
+// VersionedArray<T> implements the paper's simplest scheme: checkpoint the
+// array before the speculative DOALL, record for every location the
+// iteration that wrote it (a time-stamp), and after the loop — once the last
+// valid iteration is known — restore every location whose stamp belongs to
+// an overshot iteration.  The paper notes the 3x memory cost (data +
+// checkpoint + stamps); the sparse alternative lives in sparse_backup.hpp.
+//
+// The write-once-per-location property the paper assumes ("since all
+// iterations of the WHILE loop are independent, each memory location will be
+// written during at most one iteration") is NOT silently assumed here: the
+// stamp kept is the *maximum* writer iteration, so undo_beyond() restores a
+// location if any overshot iteration touched it.  Violations of the
+// assumption are exactly what the PD test (Section 5) detects.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+#include "wlp/sched/doall.hpp"
+#include "wlp/sched/reduce.hpp"
+
+namespace wlp {
+
+template <class T>
+class VersionedArray {
+ public:
+  static constexpr long kNoStamp = -1;
+
+  explicit VersionedArray(std::vector<T> init)
+      : data_(std::move(init)), stamp_(data_.size()) {
+    for (auto& s : stamp_) s.store(kNoStamp, std::memory_order_relaxed);
+  }
+
+  std::size_t size() const noexcept { return data_.size(); }
+
+  /// Live value (reads are never versioned; anti-dependences on the original
+  /// values are the checkpoint's job).
+  const T& get(std::size_t idx) const noexcept { return data_[idx]; }
+
+  /// Stamped speculative write by iteration `iter`.
+  void write(long iter, std::size_t idx, const T& v) noexcept {
+    data_[idx] = v;
+    // Keep the maximum writer; fetch-max via CAS.
+    auto& s = stamp_[idx];
+    long cur = s.load(std::memory_order_relaxed);
+    while (iter > cur &&
+           !s.compare_exchange_weak(cur, iter, std::memory_order_acq_rel)) {
+    }
+  }
+
+  /// Unstamped write (sequential / non-speculative contexts).
+  void write_raw(std::size_t idx, const T& v) noexcept { data_[idx] = v; }
+
+  /// Snapshot the current contents; the Tb overhead of Section 7.
+  void checkpoint() { backup_ = data_; }
+
+  bool has_checkpoint() const noexcept { return !backup_.empty() || data_.empty(); }
+
+  /// Restore every location written by an iteration >= trip.  Parallel when
+  /// a pool is supplied (the Ta term is O(a/p)).  Returns locations restored.
+  long undo_beyond(long trip, ThreadPool* pool = nullptr) {
+    assert(has_checkpoint());
+    if (pool) {
+      return parallel_sum<long>(*pool, 0, static_cast<long>(data_.size()),
+                                [&](long i) { return undo_one(static_cast<std::size_t>(i), trip); });
+    }
+    long undone = 0;
+    for (std::size_t i = 0; i < data_.size(); ++i) undone += undo_one(i, trip);
+    return undone;
+  }
+
+  /// Restore the full checkpoint (failed speculation: re-execute serially).
+  void restore_all() {
+    assert(has_checkpoint());
+    data_ = backup_;
+    clear_stamps();
+  }
+
+  void clear_stamps() noexcept {
+    for (auto& s : stamp_) s.store(kNoStamp, std::memory_order_relaxed);
+  }
+
+  void discard_checkpoint() {
+    backup_.clear();
+    backup_.shrink_to_fit();
+  }
+
+  long stamp(std::size_t idx) const noexcept {
+    return stamp_[idx].load(std::memory_order_relaxed);
+  }
+
+  /// Escape hatch for sequential re-execution and verification.
+  std::vector<T>& data() noexcept { return data_; }
+  const std::vector<T>& data() const noexcept { return data_; }
+
+ private:
+  long undo_one(std::size_t idx, long trip) noexcept {
+    if (stamp_[idx].load(std::memory_order_relaxed) >= trip) {
+      data_[idx] = backup_[idx];
+      return 1;
+    }
+    return 0;
+  }
+
+  std::vector<T> data_;
+  std::vector<T> backup_;
+  std::vector<std::atomic<long>> stamp_;
+};
+
+}  // namespace wlp

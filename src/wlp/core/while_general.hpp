@@ -1,0 +1,182 @@
+// Section 3.3 — the dispatcher is a general (inherently sequential)
+// recurrence, e.g. a pointer traversing a linked list (Figure 4).
+//
+// The dispatcher itself cannot be parallelized — it is a continuous chain of
+// flow dependences — so these methods overlap the *remainder* work of
+// different iterations instead:
+//
+//   * General-1: the processors cooperatively traverse the structure once,
+//     serializing next() inside a critical section.
+//   * General-2: every processor privately traverses the whole structure and
+//     statically executes the iterations congruent to its vpn mod p.
+//   * General-3: every processor privately traverses, but iterations are
+//     claimed dynamically; a processor replays the recurrence from the last
+//     point it held (`prev`) to its newly claimed iteration.
+//
+// All three are generic over a *cursor*: any copyable value plus a `next`
+// step and an `is_end` predicate (the RI component of the terminator that is
+// strongly connected to the dispatcher — `tmp == null` in Fig. 1(b)).
+// The body may additionally report RV exits via IterAction.
+#pragma once
+
+#include <atomic>
+#include <limits>
+#include <mutex>
+
+#include "wlp/core/report.hpp"
+#include "wlp/sched/doall.hpp"
+#include "wlp/support/cacheline.hpp"
+
+namespace wlp {
+
+namespace detail {
+
+struct GeneralAccounting {
+  PerWorker<long> trip;
+  PerWorker<long> started;
+  PerWorker<long> hops;
+  QuitBound quit;
+
+  explicit GeneralAccounting(unsigned p)
+      : trip(p, std::numeric_limits<long>::max()), started(p, 0), hops(p, 0) {}
+
+  /// Apply the body's verdict for iteration i; returns false if the caller's
+  /// claim loop should stop (the terminator held *before* the work).
+  template <class Body, class Cursor>
+  void run_body(Body& body, long i, const Cursor& c, unsigned vpn) {
+    ++started[vpn];
+    switch (body(i, c, vpn)) {
+      case IterAction::kContinue:
+        break;
+      case IterAction::kExit:
+        trip[vpn] = std::min(trip[vpn], i);
+        quit.quit(i);
+        break;
+      case IterAction::kExitAfter:
+        trip[vpn] = std::min(trip[vpn], i + 1);
+        quit.quit(i + 1);
+        break;
+    }
+  }
+
+  void record_end(long length, unsigned vpn) {
+    trip[vpn] = std::min(trip[vpn], length);
+    quit.quit(length);
+  }
+
+  ExecReport finish(Method m, long u) const {
+    ExecReport r;
+    r.method = m;
+    const long min_trip = trip.reduce(std::numeric_limits<long>::max(),
+                                      [](long a, long b) { return std::min(a, b); });
+    r.trip = std::min(min_trip, u);
+    r.started = started.reduce(0L, [](long a, long b) { return a + b; });
+    r.overshot = std::max(0L, r.started - r.trip);
+    r.dispatcher_steps = hops.reduce(0L, [](long a, long b) { return a + b; });
+    return r;
+  }
+};
+
+}  // namespace detail
+
+/// General-1: serialize accesses to next() (hardware-pipelining analog).
+/// The critical section hands each processor the next (index, cursor) pair.
+template <class Cursor, class Next, class End, class Body>
+ExecReport while_general1(ThreadPool& pool, Cursor head, Next&& next, End&& is_end,
+                          Body&& body, long u = std::numeric_limits<long>::max()) {
+  const unsigned p = pool.size();
+  detail::GeneralAccounting acc(p);
+  std::mutex mu;
+  Cursor cur = head;
+  long idx = 0;
+  bool exhausted = false;
+
+  pool.parallel([&](unsigned vpn) {
+    for (;;) {
+      Cursor mine{};
+      long i;
+      {
+        std::lock_guard lock(mu);
+        if (exhausted || idx >= u) return;
+        if (is_end(cur)) {
+          exhausted = true;
+          acc.record_end(idx, vpn);
+          return;
+        }
+        i = idx++;
+        mine = cur;
+        cur = next(cur);
+        ++acc.hops[vpn];
+      }
+      if (acc.quit.cut(i)) return;  // claims are ordered: nothing lower remains
+      acc.run_body(body, i, mine, vpn);
+    }
+  });
+  return acc.finish(Method::kGeneral1, u);
+}
+
+/// General-2: private traversal, static cyclic assignment (i mod p == vpn).
+/// No locks; each processor walks the entire structure, so the total hop
+/// count is ~p times the list length — the price of static scheduling.
+template <class Cursor, class Next, class End, class Body>
+ExecReport while_general2(ThreadPool& pool, Cursor head, Next&& next, End&& is_end,
+                          Body&& body, long u = std::numeric_limits<long>::max()) {
+  const unsigned p = pool.size();
+  detail::GeneralAccounting acc(p);
+
+  pool.parallel([&](unsigned vpn) {
+    Cursor pt = head;
+    long i = 0;
+    while (i < u) {
+      if (is_end(pt)) {
+        acc.record_end(i, vpn);
+        return;
+      }
+      if (acc.quit.cut(i)) return;
+      if (i % static_cast<long>(p) == static_cast<long>(vpn))
+        acc.run_body(body, i, pt, vpn);
+      pt = next(pt);
+      ++acc.hops[vpn];
+      ++i;
+    }
+  });
+  return acc.finish(Method::kGeneral2, u);
+}
+
+/// General-3: private traversal, dynamic self-scheduling.  Each processor
+/// remembers the last position it held and replays the recurrence only over
+/// the gap to its newly claimed iteration, so hops stay close to the list
+/// length in total while keeping dynamic load balance.
+template <class Cursor, class Next, class End, class Body>
+ExecReport while_general3(ThreadPool& pool, Cursor head, Next&& next, End&& is_end,
+                          Body&& body, long u = std::numeric_limits<long>::max()) {
+  const unsigned p = pool.size();
+  detail::GeneralAccounting acc(p);
+  std::atomic<long> counter{0};
+
+  pool.parallel([&](unsigned vpn) {
+    Cursor pt = head;
+    long prev = 0;  // index pt currently refers to
+    if (is_end(pt)) {
+      acc.record_end(0, vpn);
+      return;
+    }
+    for (;;) {
+      const long i = counter.fetch_add(1, std::memory_order_relaxed);
+      if (i >= u || acc.quit.cut(i)) return;
+      while (prev < i) {
+        pt = next(pt);
+        ++acc.hops[vpn];
+        ++prev;
+        if (is_end(pt)) {
+          acc.record_end(prev, vpn);
+          return;
+        }
+      }
+      acc.run_body(body, i, pt, vpn);
+    }
+  });
+  return acc.finish(Method::kGeneral3, u);
+}
+
+}  // namespace wlp

@@ -1,0 +1,112 @@
+// DOACROSS pipelining — the Wu & Lewis (ICPP 1990) execution model and the
+// paper's fallback for sequential blocks after loop distribution (Section 6).
+//
+// Each iteration is split into a *sequential phase* (the recurrence /
+// dispatcher step, which must observe program order) and a *parallel phase*
+// (the remainder).  Iteration i's sequential phase waits on iteration i-1's
+// completion flag; parallel phases overlap freely.  Because the sequential
+// phases run in program order, a DOACROSS WHILE loop never overshoots —
+// which is also why it forfeits the parallelism the paper's speculative
+// methods recover.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "wlp/sched/thread_pool.hpp"
+
+namespace wlp {
+
+struct DoacrossResult {
+  long trip = 0;  ///< iterations whose parallel phase executed
+};
+
+namespace detail {
+
+enum class SeqFlag : std::uint8_t { kPending = 0, kGo = 1, kStop = 2 };
+
+inline void spin_until_set(const std::atomic<std::uint8_t>& flag) {
+  int spins = 0;
+  while (flag.load(std::memory_order_acquire) ==
+         static_cast<std::uint8_t>(SeqFlag::kPending)) {
+    if (++spins > 256) {
+      std::this_thread::yield();
+      spins = 0;
+    }
+  }
+}
+
+}  // namespace detail
+
+/// Pipelined WHILE loop over at most `max_iters` iterations.
+///
+/// `seq(i) -> bool` runs in strict iteration order; returning false means the
+/// termination condition held at iteration i (iteration i's parallel phase
+/// does not run and no later iteration starts).  `par(i, vpn)` is the
+/// independent remainder.  Iterations are claimed dynamically, so the
+/// pipeline depth is the pool size.
+template <class Seq, class Par>
+DoacrossResult doacross_while(ThreadPool& pool, long max_iters, Seq&& seq,
+                              Par&& par) {
+  using detail::SeqFlag;
+  if (max_iters <= 0) return {0};
+
+  // flag[i+1] guards iteration i; flag[0] is pre-set so iteration 0 runs.
+  std::vector<std::atomic<std::uint8_t>> flag(static_cast<std::size_t>(max_iters) + 1);
+  for (auto& f : flag) f.store(static_cast<std::uint8_t>(SeqFlag::kPending),
+                               std::memory_order_relaxed);
+  flag[0].store(static_cast<std::uint8_t>(SeqFlag::kGo), std::memory_order_release);
+
+  std::atomic<long> next{0};
+  std::atomic<long> trip{max_iters};
+
+  pool.parallel([&](unsigned vpn) {
+    for (;;) {
+      const long i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= max_iters) return;
+      detail::spin_until_set(flag[static_cast<std::size_t>(i)]);
+      const auto prev = static_cast<SeqFlag>(
+          flag[static_cast<std::size_t>(i)].load(std::memory_order_acquire));
+      if (prev == SeqFlag::kStop) {
+        // Propagate the stop down the chain so claimed successors wake up.
+        flag[static_cast<std::size_t>(i) + 1].store(
+            static_cast<std::uint8_t>(SeqFlag::kStop), std::memory_order_release);
+        return;
+      }
+      const bool keep_going = seq(i);
+      flag[static_cast<std::size_t>(i) + 1].store(
+          static_cast<std::uint8_t>(keep_going ? SeqFlag::kGo : SeqFlag::kStop),
+          std::memory_order_release);
+      if (!keep_going) {
+        long expected = max_iters;
+        trip.compare_exchange_strong(expected, i, std::memory_order_acq_rel);
+        return;
+      }
+      par(i, vpn);
+    }
+  });
+
+  return {trip.load(std::memory_order_acquire)};
+}
+
+/// Wu & Lewis' other scheme ("naive loop distribution", Section 3.3/10):
+/// a purely sequential pass evaluates the dispatcher into `terms` until
+/// `term` says stop or `max_iters` is hit; the caller then runs the
+/// remainder as a DOALL over the recorded terms.  Returns the trip count.
+/// This is the baseline the figure benches compare the General-k methods to.
+template <class T, class Step, class Term>
+long sequential_dispatcher_pass(std::vector<T>& terms, T first, Step&& step,
+                                Term&& term, long max_iters) {
+  terms.clear();
+  T cur = first;
+  for (long i = 0; i < max_iters; ++i) {
+    if (term(cur)) return i;
+    terms.push_back(cur);
+    cur = step(cur);
+  }
+  return max_iters;
+}
+
+}  // namespace wlp

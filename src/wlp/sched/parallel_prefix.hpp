@@ -1,0 +1,106 @@
+// Parallel prefix (scan) computation — Section 3.2 of the paper.
+//
+// When the dispatcher is an *associative* recurrence, its terms can be
+// evaluated in O(n/p + log p) time with a blocked two-pass scan (Ladner &
+// Fischer).  The affine recurrence x(i) = a*x(i-1) + b — the paper's running
+// example — is handled by scanning function compositions: each step is the
+// affine map x -> a*x + b, map composition is associative, and applying the
+// i-th prefix composition to x0 yields the i-th term.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "wlp/sched/thread_pool.hpp"
+#include "wlp/support/cacheline.hpp"
+
+namespace wlp {
+
+/// In-place inclusive scan of `xs` under associative `op`.
+/// Pass 1: each worker reduces its block.  A sequential exclusive scan over
+/// the p block sums follows (O(p)).  Pass 2: each worker rescans its block
+/// seeded with its prefix.  Identity element `id` seeds block prefixes.
+template <class T, class Op>
+void parallel_inclusive_scan(ThreadPool& pool, std::span<T> xs, T id, Op op) {
+  const long n = static_cast<long>(xs.size());
+  if (n == 0) return;
+  const unsigned p = pool.size();
+  const long blk = (n + p - 1) / p;
+
+  PerWorker<T> block_sum(p, id);
+  pool.parallel([&](unsigned vpn) {
+    const long b = static_cast<long>(vpn) * blk;
+    const long e = std::min(b + blk, n);
+    T acc = id;
+    for (long i = b; i < e; ++i) acc = op(acc, xs[static_cast<std::size_t>(i)]);
+    block_sum[vpn] = acc;
+  });
+
+  std::vector<T> prefix(p, id);  // exclusive scan of block sums
+  T acc = id;
+  for (unsigned w = 0; w < p; ++w) {
+    prefix[w] = acc;
+    acc = op(acc, block_sum[w]);
+  }
+
+  pool.parallel([&](unsigned vpn) {
+    const long b = static_cast<long>(vpn) * blk;
+    const long e = std::min(b + blk, n);
+    T run = prefix[vpn];
+    for (long i = b; i < e; ++i) {
+      run = op(run, xs[static_cast<std::size_t>(i)]);
+      xs[static_cast<std::size_t>(i)] = run;
+    }
+  });
+}
+
+/// The affine map x -> a*x + b over a commutative ring T.
+/// Composition (apply f then g) is (g.a*f.a, g.a*f.b + g.b) — associative,
+/// which is what makes the recurrence scannable.  With T = std::uint64_t the
+/// arithmetic is exact modulo 2^64, so tests can require bit equality with
+/// the sequential evaluation on arbitrarily long chains.
+template <class T>
+struct AffineMap {
+  T a{1};
+  T b{0};
+
+  static AffineMap identity() { return {T{1}, T{0}}; }
+
+  T operator()(T x) const { return a * x + b; }
+
+  /// compose(f, g): the map "apply f, then g".
+  friend AffineMap compose(const AffineMap& f, const AffineMap& g) {
+    return {g.a * f.a, g.a * f.b + g.b};
+  }
+};
+
+/// Terms of x(i) = a(i)*x(i-1) + b(i), i = 1..n, given x(0) = x0.
+/// `steps[i-1]` holds the i-th step's map.  Returns [x(1), ..., x(n)].
+template <class T>
+std::vector<T> affine_recurrence_terms(ThreadPool& pool, T x0,
+                                       std::vector<AffineMap<T>> steps) {
+  parallel_inclusive_scan(
+      pool, std::span<AffineMap<T>>(steps), AffineMap<T>::identity(),
+      [](const AffineMap<T>& f, const AffineMap<T>& g) { return compose(f, g); });
+
+  const long n = static_cast<long>(steps.size());
+  std::vector<T> terms(steps.size());
+  const unsigned p = pool.size();
+  const long blk = (n + p - 1) / p;
+  pool.parallel([&](unsigned vpn) {
+    const long b = static_cast<long>(vpn) * blk;
+    const long e = std::min(b + blk, n);
+    for (long i = b; i < e; ++i)
+      terms[static_cast<std::size_t>(i)] = steps[static_cast<std::size_t>(i)](x0);
+  });
+  return terms;
+}
+
+/// Uniform-coefficient convenience: x(i) = a*x(i-1) + b for i = 1..n.
+template <class T>
+std::vector<T> affine_recurrence_terms(ThreadPool& pool, T x0, T a, T b, long n) {
+  std::vector<AffineMap<T>> steps(static_cast<std::size_t>(n), AffineMap<T>{a, b});
+  return affine_recurrence_terms(pool, x0, std::move(steps));
+}
+
+}  // namespace wlp

@@ -1,0 +1,70 @@
+#include "wlp/sched/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace wlp {
+
+unsigned ThreadPool::default_concurrency() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return std::max(hw, 4u);
+}
+
+ThreadPool::ThreadPool(unsigned n) {
+  if (n == 0) n = default_concurrency();
+  threads_.reserve(n);
+  for (unsigned vpn = 0; vpn < n; ++vpn)
+    threads_.emplace_back([this, vpn] { worker_main(vpn); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mu_);
+    shutdown_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::parallel(const std::function<void(unsigned)>& f) {
+  std::unique_lock lock(mu_);
+  job_ = &f;
+  remaining_ = size();
+  first_error_ = nullptr;
+  ++generation_;
+  cv_start_.notify_all();
+  cv_done_.wait(lock, [this] { return remaining_ == 0; });
+  job_ = nullptr;
+  if (first_error_) {
+    auto err = first_error_;
+    first_error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(err);
+  }
+}
+
+void ThreadPool::worker_main(unsigned vpn) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(unsigned)>* job = nullptr;
+    {
+      std::unique_lock lock(mu_);
+      cv_start_.wait(lock, [&] { return shutdown_ || generation_ != seen; });
+      if (shutdown_) return;
+      seen = generation_;
+      job = job_;
+    }
+    std::exception_ptr err;
+    try {
+      (*job)(vpn);
+    } catch (...) {
+      err = std::current_exception();
+    }
+    {
+      std::lock_guard lock(mu_);
+      if (err && !first_error_) first_error_ = err;
+      if (--remaining_ == 0) cv_done_.notify_all();
+    }
+  }
+}
+
+}  // namespace wlp

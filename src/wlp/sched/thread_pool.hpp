@@ -1,0 +1,60 @@
+// A persistent fork-join worker pool.
+//
+// This is the machine abstraction everything else runs on: `p` virtual
+// processors (the paper's `nproc`), each with a stable virtual processor
+// number `vpn` in [0, p).  A single blocking primitive is exposed —
+// `parallel(f)` runs f(vpn) on every worker and waits — and the DOALL /
+// DOACROSS / prefix schedulers in this directory are built on top of it.
+//
+// Exceptions thrown by workers are captured and rethrown in the caller
+// (first one wins); Section 5.1 of the paper treats an exception during a
+// speculative run as a failed speculation, and the speculative driver in
+// core/speculative.hpp relies on this propagation.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace wlp {
+
+class ThreadPool {
+ public:
+  /// Create a pool with `n` workers.  `n == 0` selects a default suited to
+  /// exercising the runtime even on small hosts (at least 4).
+  explicit ThreadPool(unsigned n = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of virtual processors.
+  unsigned size() const noexcept { return static_cast<unsigned>(threads_.size()); }
+
+  /// Run `f(vpn)` on every worker; blocks until all have finished.
+  /// Rethrows the first worker exception after all workers are quiescent.
+  void parallel(const std::function<void(unsigned)>& f);
+
+  /// Default worker count: the hardware concurrency, but at least 4 so the
+  /// concurrency machinery is genuinely exercised on single-core hosts.
+  static unsigned default_concurrency();
+
+ private:
+  void worker_main(unsigned vpn);
+
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  const std::function<void(unsigned)>* job_ = nullptr;
+  std::uint64_t generation_ = 0;
+  unsigned remaining_ = 0;
+  bool shutdown_ = false;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace wlp

@@ -1,0 +1,73 @@
+// The simulated multiprocessor — our stand-in for the paper's Alliant FX/80
+// (and for the MPPs Section 9 extrapolates to), since wall-clock speedup is
+// unmeasurable on a single-core host.
+//
+// The machine is a set of p virtual processors with per-operation costs (in
+// abstract cycles).  The simulator in simulator.hpp executes each Section 3
+// method's *exact* iteration schedule — the same lock serialization, the
+// same private-traversal hops, the same QUIT cut-off, the same stamp /
+// shadow / checkpoint overheads — against a per-iteration work profile
+// measured from the real workloads, and reports the parallel makespan.
+// Speedup = sequential time / makespan.
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+namespace wlp::sim {
+
+/// Per-operation cost parameters (abstract cycles).  Defaults are calibrated
+/// so that one unit of workload "work" is the yardstick; see
+/// bench/calibrate notes in EXPERIMENTS.md.
+struct MachineModel {
+  double t_next = 1.0;     ///< one dispatcher step (pointer chase / r update)
+  double t_term = 0.3;     ///< evaluate a termination condition
+  double t_claim = 0.3;    ///< dynamic-scheduling claim (shared counter)
+  double t_lock = 2.8;     ///< acquire+release of General-1's critical section
+  double t_stamp = 0.8;   ///< time-stamp one write (undo support)
+  double t_shadow = 0.4;   ///< one PD shadow mark
+  double t_word = 0.1;    ///< copy one word (checkpoint / restore)
+  double t_prefix_op = 0.8;  ///< one associative composition in the scan
+  double t_analysis = 0.08;  ///< PD post-analysis, per shadow cell
+  double t_post_wait = 2.0;  ///< DOACROSS post/wait handshake per iteration
+  double t_barrier_base = 8.0;
+  double t_barrier_log = 4.0;  ///< barrier = base + log * log2(p)
+
+  double barrier(unsigned p) const {
+    return t_barrier_base + t_barrier_log * std::log2(static_cast<double>(p < 2 ? 2 : p));
+  }
+};
+
+/// What one WHILE loop looks like to the machine.
+struct LoopProfile {
+  std::vector<double> work;  ///< remainder cost per iteration, for all of u
+  long trip = 0;             ///< sequential trip count
+  long u = 0;                ///< iteration-space upper bound (== work.size())
+  double next_cost = 1.0;    ///< dispatcher step cost multiplier
+  long writes_per_iter = 0;  ///< stamped writes per iteration
+  long reads_per_iter = 0;   ///< shadowed reads per iteration
+  long state_words = 0;      ///< checkpointable state size (words)
+  long shadow_cells = 0;     ///< PD shadow size (elements under test)
+  /// RV terminators discover the exit only by doing the work; RI tests are
+  /// evaluated before the work, so overshot iterations cost only the test.
+  bool overshoot_does_work = false;
+  /// Singular exits (a planted error like TRACK's) are observable ONLY at
+  /// iteration == trip: processors past it keep running until that exact
+  /// iteration completes and issues the QUIT.  Bound-style exits (MA28's
+  /// (nz-1)^2 test) are observed by every iteration >= trip.
+  bool singular_exit = false;
+
+  double work_at(long i) const {
+    return i >= 0 && i < static_cast<long>(work.size())
+               ? work[static_cast<std::size_t>(i)]
+               : 0.0;
+  }
+  double total_work_below(long n) const {
+    double s = 0;
+    for (long i = 0; i < n && i < static_cast<long>(work.size()); ++i)
+      s += work[static_cast<std::size_t>(i)];
+    return s;
+  }
+};
+
+}  // namespace wlp::sim

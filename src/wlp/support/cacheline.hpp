@@ -1,0 +1,59 @@
+// Cache-line utilities: padded per-worker slots that avoid false sharing.
+//
+// The runtime keeps one accumulator per virtual processor for things like
+// "lowest iteration on which this processor saw the termination condition"
+// (Figure 2 of the paper).  Packing those accumulators contiguously would
+// put several of them on one cache line and make every update a coherence
+// miss; PerWorker<T> pads each slot to a destructive-interference boundary.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace wlp {
+
+// Pinned to 64 (x86-64/ARM64 common case) rather than
+// std::hardware_destructive_interference_size, whose value is flagged by GCC
+// as ABI-unstable across -mtune settings.
+inline constexpr std::size_t kCacheLine = 64;
+
+/// A value padded out to its own cache line.
+template <class T>
+struct alignas(kCacheLine) Padded {
+  T value{};
+
+  Padded() = default;
+  explicit Padded(const T& v) : value(v) {}
+
+  T& operator*() noexcept { return value; }
+  const T& operator*() const noexcept { return value; }
+  T* operator->() noexcept { return &value; }
+  const T* operator->() const noexcept { return &value; }
+};
+
+/// One padded slot per worker.  Indexed by virtual processor number.
+template <class T>
+class PerWorker {
+ public:
+  explicit PerWorker(std::size_t n, const T& init = T{}) : slots_(n, Padded<T>(init)) {}
+
+  T& operator[](std::size_t wid) noexcept { return slots_[wid].value; }
+  const T& operator[](std::size_t wid) const noexcept { return slots_[wid].value; }
+
+  std::size_t size() const noexcept { return slots_.size(); }
+
+  /// Fold all slots with `op` starting from `init` (single-threaded; used
+  /// for the post-loop reductions which are cheap: O(p)).
+  template <class U, class Op>
+  U reduce(U init, Op op) const {
+    U acc = init;
+    for (const auto& s : slots_) acc = op(acc, s.value);
+    return acc;
+  }
+
+ private:
+  std::vector<Padded<T>> slots_;
+};
+
+}  // namespace wlp

@@ -1,0 +1,48 @@
+// Synthetic Harwell-Boeing-style matrix generators — stand-ins for the four
+// inputs of Section 9 (gematt11, gematt12, orsreg1, saylr4), which we cannot
+// redistribute.  Each generator matches the original's order, nonzero count,
+// and structural class, which is what the available pivot-search parallelism
+// depends on (DESIGN.md, "Substitutions"):
+//
+//   gematt11 / gematt12 — GEMAT power-flow matrices: n = 4929, nnz ~ 33k,
+//       irregular row degrees (a few dense "bus" rows, many sparse ones);
+//       gematt12 differs by a denser coupling pattern.
+//   orsreg1 — oil-reservoir simulation, 21 x 21 x 5 grid, 7-point operator:
+//       n = 2205, nnz ~ 14k, very regular banded structure.
+//   saylr4 — 3-D reservoir simulation, 33 x 12 x 9 grid, 7-point operator
+//       with anisotropic coefficients: n = 3564, nnz ~ 22.3k.
+//
+// All matrices are diagonally dominated (so the LU tests are stable) and
+// deterministic for a given seed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "wlp/workloads/sparse_matrix.hpp"
+
+namespace wlp::workloads {
+
+struct HBInfo {
+  std::string name;
+  std::int32_t n;
+  long paper_nnz;  ///< the original matrix's nonzero count (target)
+};
+
+SparseMatrix gen_gematt11(std::uint64_t seed = 11);
+SparseMatrix gen_gematt12(std::uint64_t seed = 12);
+SparseMatrix gen_orsreg1();
+SparseMatrix gen_saylr4(std::uint64_t seed = 4);
+
+/// Scaled-down variants for fast unit tests (same structure class).
+SparseMatrix gen_power_flow(std::int32_t n, long target_nnz, double hub_fraction,
+                            std::uint64_t seed);
+SparseMatrix gen_grid7(std::int32_t nx, std::int32_t ny, std::int32_t nz,
+                       double anisotropy = 1.0, std::uint64_t seed = 1);
+
+HBInfo info_gematt11();
+HBInfo info_gematt12();
+HBInfo info_orsreg1();
+HBInfo info_saylr4();
+
+}  // namespace wlp::workloads

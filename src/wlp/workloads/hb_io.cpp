@@ -1,0 +1,205 @@
+#include "wlp/workloads/hb_io.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace wlp::workloads {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("harwell-boeing: " + what);
+}
+
+long to_long(const std::string& tok, const char* what) {
+  try {
+    return std::stol(tok);
+  } catch (...) {
+    fail(std::string("bad integer for ") + what + ": '" + tok + "'");
+  }
+}
+
+/// Read exactly `count` whitespace-separated tokens spanning lines.
+std::vector<std::string> read_tokens(std::istream& in, long count,
+                                     const char* what) {
+  std::vector<std::string> toks;
+  toks.reserve(static_cast<std::size_t>(count));
+  std::string tok;
+  while (static_cast<long>(toks.size()) < count && in >> tok)
+    toks.push_back(tok);
+  if (static_cast<long>(toks.size()) < count)
+    fail(std::string("unexpected end of file while reading ") + what);
+  return toks;
+}
+
+/// FORTRAN floats may use D exponents: 1.5D+03.
+double to_double(std::string tok) {
+  for (char& c : tok)
+    if (c == 'D' || c == 'd') c = 'e';
+  try {
+    return std::stod(tok);
+  } catch (...) {
+    fail("bad numeric value: '" + tok + "'");
+  }
+}
+
+}  // namespace
+
+SparseMatrix read_harwell_boeing(std::istream& in) {
+  std::string line1, line2, line3, line4;
+  if (!std::getline(in, line1) || !std::getline(in, line2) ||
+      !std::getline(in, line3) || !std::getline(in, line4))
+    fail("missing header lines");
+
+  // Line 2: TOTCRD PTRCRD INDCRD VALCRD RHSCRD (RHSCRD optional).
+  std::istringstream l2(line2);
+  long totcrd = 0, ptrcrd = 0, indcrd = 0, valcrd = 0, rhscrd = 0;
+  if (!(l2 >> totcrd >> ptrcrd >> indcrd >> valcrd)) fail("bad card counts");
+  l2 >> rhscrd;  // optional
+  (void)totcrd;
+  (void)ptrcrd;
+  (void)indcrd;
+
+  // Line 3: MXTYPE NROW NCOL NNZERO NELTVL.
+  std::istringstream l3(line3);
+  std::string mxtype;
+  long nrow = 0, ncol = 0, nnz = 0, neltvl = 0;
+  if (!(l3 >> mxtype >> nrow >> ncol >> nnz)) fail("bad matrix header");
+  l3 >> neltvl;
+  std::transform(mxtype.begin(), mxtype.end(), mxtype.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  if (mxtype.size() != 3) fail("bad MXTYPE '" + mxtype + "'");
+  if (mxtype[0] != 'R') fail("only real matrices supported (MXTYPE " + mxtype + ")");
+  if (mxtype[2] != 'A') fail("only assembled matrices supported (MXTYPE " + mxtype + ")");
+  const bool symmetric = mxtype[1] == 'S';
+  if (mxtype[1] != 'U' && mxtype[1] != 'S')
+    fail("unsupported symmetry class (MXTYPE " + mxtype + ")");
+  if (nrow <= 0 || ncol <= 0 || nnz < 0) fail("bad dimensions");
+  if (neltvl != 0) fail("element matrices not supported");
+
+  // Line 4 is the FORTRAN format line; a possible 5th line describes RHS.
+  if (rhscrd > 0) {
+    std::string line5;
+    if (!std::getline(in, line5)) fail("missing RHS format line");
+  }
+
+  const auto ptr_toks = read_tokens(in, ncol + 1, "column pointers");
+  const auto ind_toks = read_tokens(in, nnz, "row indices");
+  std::vector<double> values(static_cast<std::size_t>(nnz), 0.0);
+  if (valcrd > 0) {
+    const auto val_toks = read_tokens(in, nnz, "values");
+    for (long k = 0; k < nnz; ++k)
+      values[static_cast<std::size_t>(k)] = to_double(val_toks[static_cast<std::size_t>(k)]);
+  }
+
+  std::vector<Triplet> tri;
+  tri.reserve(static_cast<std::size_t>(symmetric ? 2 * nnz : nnz));
+  long prev_ptr = -1;
+  for (long c = 0; c < ncol; ++c) {
+    const long b = to_long(ptr_toks[static_cast<std::size_t>(c)], "colptr") - 1;
+    const long e = to_long(ptr_toks[static_cast<std::size_t>(c) + 1], "colptr") - 1;
+    if (b < 0 || e < b || e > nnz) fail("inconsistent column pointers");
+    if (b < prev_ptr) fail("column pointers not monotone");
+    prev_ptr = b;
+    for (long k = b; k < e; ++k) {
+      const long r = to_long(ind_toks[static_cast<std::size_t>(k)], "rowind") - 1;
+      if (r < 0 || r >= nrow) fail("row index out of range");
+      const double v = values[static_cast<std::size_t>(k)];
+      tri.push_back({static_cast<std::int32_t>(r), static_cast<std::int32_t>(c), v});
+      if (symmetric && r != static_cast<long>(c))
+        tri.push_back({static_cast<std::int32_t>(c), static_cast<std::int32_t>(r), v});
+    }
+  }
+  return SparseMatrix::from_triplets(static_cast<std::int32_t>(nrow),
+                                     static_cast<std::int32_t>(ncol),
+                                     std::move(tri));
+}
+
+SparseMatrix read_harwell_boeing_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) fail("cannot open '" + path + "'");
+  return read_harwell_boeing(in);
+}
+
+void write_harwell_boeing(std::ostream& out, const SparseMatrix& m,
+                          const std::string& title, const std::string& key) {
+  // Column-compressed form via the transpose's rows.
+  const SparseMatrix t = m.transpose();
+  const long nnz = m.nnz();
+  const long ncol = m.cols();
+
+  std::vector<long> colptr(static_cast<std::size_t>(ncol) + 1, 1);
+  for (long c = 0; c < ncol; ++c)
+    colptr[static_cast<std::size_t>(c) + 1] =
+        colptr[static_cast<std::size_t>(c)] + t.row_nnz(static_cast<std::int32_t>(c));
+
+  const int ptr_per_line = 8, ind_per_line = 8, val_per_line = 4;
+  const long ptrcrd = (ncol + 1 + ptr_per_line - 1) / ptr_per_line;
+  const long indcrd = (nnz + ind_per_line - 1) / ind_per_line;
+  const long valcrd = (nnz + val_per_line - 1) / val_per_line;
+
+  // Header.
+  out << std::left << std::setw(72) << title.substr(0, 72)
+      << std::setw(8) << key.substr(0, 8) << '\n';
+  out << std::right << std::setw(14) << (ptrcrd + indcrd + valcrd)
+      << std::setw(14) << ptrcrd << std::setw(14) << indcrd << std::setw(14)
+      << valcrd << std::setw(14) << 0 << '\n';
+  out << std::left << std::setw(14) << "RUA" << std::right << std::setw(14)
+      << m.rows() << std::setw(14) << ncol << std::setw(14) << nnz
+      << std::setw(14) << 0 << '\n';
+  out << std::left << std::setw(16) << "(8I10)" << std::setw(16) << "(8I10)"
+      << std::setw(20) << "(4E20.12)" << std::setw(20) << "" << '\n';
+
+  auto emit_longs = [&](const std::vector<long>& xs, int per_line) {
+    int col = 0;
+    for (long x : xs) {
+      out << std::right << std::setw(10) << x;
+      if (++col == per_line) {
+        out << '\n';
+        col = 0;
+      }
+    }
+    if (col) out << '\n';
+  };
+
+  emit_longs(colptr, ptr_per_line);
+
+  std::vector<long> rowind;
+  rowind.reserve(static_cast<std::size_t>(nnz));
+  std::vector<double> vals;
+  vals.reserve(static_cast<std::size_t>(nnz));
+  for (std::int32_t c = 0; c < t.rows(); ++c) {
+    const auto rows = t.row_cols(c);
+    const auto v = t.row_vals(c);
+    for (std::size_t k = 0; k < rows.size(); ++k) {
+      rowind.push_back(rows[k] + 1);
+      vals.push_back(v[k]);
+    }
+  }
+  emit_longs(rowind, ind_per_line);
+
+  int col = 0;
+  out << std::scientific << std::setprecision(12);
+  for (double v : vals) {
+    out << std::setw(20) << v;
+    if (++col == val_per_line) {
+      out << '\n';
+      col = 0;
+    }
+  }
+  if (col) out << '\n';
+}
+
+void write_harwell_boeing_file(const std::string& path, const SparseMatrix& m,
+                               const std::string& title, const std::string& key) {
+  std::ofstream out(path);
+  if (!out) fail("cannot open '" + path + "' for writing");
+  write_harwell_boeing(out, m, title, key);
+}
+
+}  // namespace wlp::workloads

@@ -1,0 +1,36 @@
+// Harwell-Boeing (RUA) file I/O.
+//
+// The evaluation's inputs (gematt11, gematt12, orsreg1, saylr4) are
+// distributed in the Harwell-Boeing exchange format.  This repository ships
+// synthetic stand-ins (hb_generator.hpp), but users who have the original
+// files can load them here and run the same benches on the real structures.
+//
+// Scope: real unsymmetric/symmetric assembled matrices ("RUA"/"RSA"), the
+// overwhelmingly common case.  The writer emits a standard-conforming file
+// (FORTRAN 1-based, column-compressed); the reader handles the fixed-field
+// headers and free-ish numeric bodies produced by the usual tools.
+// Right-hand sides and element matrices are out of scope.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "wlp/workloads/sparse_matrix.hpp"
+
+namespace wlp::workloads {
+
+/// Parse a Harwell-Boeing file.  Throws std::runtime_error with a line
+/// diagnostic on malformed input.  Symmetric types ("RSA") are expanded to
+/// full storage.
+SparseMatrix read_harwell_boeing(std::istream& in);
+SparseMatrix read_harwell_boeing_file(const std::string& path);
+
+/// Write `m` as an RUA Harwell-Boeing file with the given title/key.
+void write_harwell_boeing(std::ostream& out, const SparseMatrix& m,
+                          const std::string& title = "wlp export",
+                          const std::string& key = "WLPMAT");
+void write_harwell_boeing_file(const std::string& path, const SparseMatrix& m,
+                               const std::string& title = "wlp export",
+                               const std::string& key = "WLPMAT");
+
+}  // namespace wlp::workloads

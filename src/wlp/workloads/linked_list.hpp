@@ -1,0 +1,78 @@
+// Pool-allocated singly linked lists — the data structure behind the SPICE
+// LOAD workload (a chain of device models) and behind every General-k test.
+//
+// Nodes live in one contiguous pool and link by index, which (a) makes the
+// traversal order independent of heap layout, so runs are reproducible, and
+// (b) lets tests shuffle the *logical* order against the *storage* order to
+// make sure nothing accidentally relies on pool position.
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "wlp/support/prng.hpp"
+
+namespace wlp::workloads {
+
+inline constexpr std::int32_t kNullNode = -1;
+
+template <class Payload>
+class NodePool {
+ public:
+  struct Node {
+    std::int32_t next = kNullNode;
+    Payload payload{};
+  };
+
+  NodePool() = default;
+
+  /// Build a list of `n` nodes whose logical order is a seeded permutation
+  /// of the pool order; `fill(i, payload)` initializes the payload of the
+  /// node at logical position i.
+  template <class Fill>
+  static NodePool make(long n, std::uint64_t seed, Fill&& fill) {
+    NodePool list;
+    list.nodes_.resize(static_cast<std::size_t>(n));
+    std::vector<std::int32_t> order(static_cast<std::size_t>(n));
+    std::iota(order.begin(), order.end(), 0);
+    Xoshiro256 rng(seed);
+    for (std::size_t k = order.size(); k > 1; --k)
+      std::swap(order[k - 1], order[static_cast<std::size_t>(rng.below(k))]);
+
+    for (long i = 0; i < n; ++i) {
+      Node& node = list.nodes_[static_cast<std::size_t>(order[static_cast<std::size_t>(i)])];
+      node.next = i + 1 < n ? order[static_cast<std::size_t>(i + 1)] : kNullNode;
+      fill(i, node.payload);
+    }
+    list.head_ = n > 0 ? order[0] : kNullNode;
+    return list;
+  }
+
+  std::int32_t head() const noexcept { return head_; }
+  std::int32_t next(std::int32_t c) const noexcept {
+    return nodes_[static_cast<std::size_t>(c)].next;
+  }
+  static bool is_end(std::int32_t c) noexcept { return c == kNullNode; }
+
+  Payload& payload(std::int32_t c) noexcept {
+    return nodes_[static_cast<std::size_t>(c)].payload;
+  }
+  const Payload& payload(std::int32_t c) const noexcept {
+    return nodes_[static_cast<std::size_t>(c)].payload;
+  }
+
+  long size() const noexcept { return static_cast<long>(nodes_.size()); }
+
+  /// Logical-order payload visit (reference traversal for tests).
+  template <class Visit>
+  void for_each(Visit&& visit) const {
+    for (std::int32_t c = head_; c != kNullNode; c = next(c)) visit(payload(c));
+  }
+
+ private:
+  std::vector<Node> nodes_;
+  std::int32_t head_ = kNullNode;
+};
+
+}  // namespace wlp::workloads

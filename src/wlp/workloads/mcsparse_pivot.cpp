@@ -1,0 +1,135 @@
+#include "wlp/workloads/mcsparse_pivot.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <numeric>
+
+#include "wlp/core/while_doany.hpp"
+#include "wlp/support/prng.hpp"
+
+namespace wlp::workloads {
+
+McsparsePivotSearch::McsparsePivotSearch(SparseMatrix a, DoanyConfig cfg)
+    : cfg_(cfg), a_(std::move(a)), at_(a_.transpose()) {
+  const std::int32_t nr = a_.rows();
+  const std::int32_t nc = a_.cols();
+  order_.resize(static_cast<std::size_t>(nr + nc));
+  std::iota(order_.begin(), order_.end(), 0);
+  Xoshiro256 rng(cfg.seed);
+  for (std::size_t k = order_.size(); k > 1; --k)
+    std::swap(order_[k - 1], order_[static_cast<std::size_t>(rng.below(k))]);
+
+  row_counts_.reserve(static_cast<std::size_t>(nr));
+  for (std::int32_t r = 0; r < nr; ++r)
+    row_counts_.push_back(static_cast<std::int32_t>(a_.row_nnz(r)));
+  col_counts_.reserve(static_cast<std::size_t>(nc));
+  for (std::int32_t c = 0; c < nc; ++c)
+    col_counts_.push_back(static_cast<std::int32_t>(at_.row_nnz(c)));
+}
+
+bool McsparsePivotSearch::acceptable(const PivotCandidate& c) const noexcept {
+  if (!c.valid()) return false;
+  if (c.cost > cfg_.accept_cost) return false;
+  const double maxrow = a_.max_abs_in_row(c.row);
+  return std::abs(c.value) >= cfg_.threshold_u * maxrow;
+}
+
+PivotCandidate McsparsePivotSearch::scan(long i) const {
+  const std::int32_t code = order_[static_cast<std::size_t>(i)];
+  const bool is_row = code < a_.rows();
+  const SparseMatrix& primary = is_row ? a_ : at_;
+  const std::int32_t r = is_row ? code : code - a_.rows();
+
+  const auto cols = primary.row_cols(r);
+  const auto vals = primary.row_vals(r);
+  double maxv = 0;
+  for (double v : vals) maxv = std::max(maxv, std::abs(v));
+
+  PivotCandidate best;
+  const long rcount = static_cast<long>(cols.size());
+  for (std::size_t k = 0; k < cols.size(); ++k) {
+    if (std::abs(vals[k]) < cfg_.threshold_u * maxv) continue;
+    const long crosscount =
+        is_row ? col_counts_[static_cast<std::size_t>(cols[k])]
+               : row_counts_[static_cast<std::size_t>(cols[k])];
+    const long cost = (rcount - 1) * (crosscount - 1);
+    if (cost > cfg_.accept_cost) continue;
+    PivotCandidate cand;
+    cand.cost = cost;
+    cand.value = vals[k];
+    if (is_row) {
+      cand.row = r;
+      cand.col = cols[k];
+    } else {
+      cand.row = cols[k];
+      cand.col = r;
+    }
+    if (!best.valid() || cand.cost < best.cost) best = cand;
+  }
+  // The stability check in acceptable() is against the candidate's ROW max;
+  // for column-search hits re-check so the returned pivot is always
+  // admissible by the row criterion MCSPARSE uses.
+  if (best.valid() && !acceptable(best)) best = PivotCandidate{};
+  return best;
+}
+
+PivotCandidate McsparsePivotSearch::search_sequential(long* trip_out) const {
+  const long n = candidates();
+  for (long i = 0; i < n; ++i) {
+    const PivotCandidate c = scan(i);
+    if (c.valid()) {
+      if (trip_out) *trip_out = i + 1;  // exit taken after this iteration
+      return c;
+    }
+  }
+  if (trip_out) *trip_out = n;
+  return {};
+}
+
+PivotCandidate McsparsePivotSearch::search_doany(ThreadPool& pool,
+                                                 ExecReport& report) const {
+  const long n = candidates();
+  // First acceptable pivot wins; later finds are ignored (any is correct).
+  std::atomic<long> winner_iter{-1};
+  std::vector<PivotCandidate> found(static_cast<std::size_t>(pool.size()));
+
+  report = while_doany(pool, n, [&](long i, unsigned vpn) {
+    const PivotCandidate c = scan(i);
+    if (!c.valid()) return IterAction::kContinue;
+    long expected = -1;
+    if (winner_iter.compare_exchange_strong(expected, i,
+                                            std::memory_order_acq_rel)) {
+      found[vpn] = c;
+    }
+    return IterAction::kExitAfter;
+  });
+
+  for (const PivotCandidate& c : found)
+    if (c.valid()) return c;
+  return {};
+}
+
+sim::LoopProfile McsparsePivotSearch::profile() const {
+  sim::LoopProfile lp;
+  long trip = 0;
+  search_sequential(&trip);
+  const long n = candidates();
+  lp.u = n;
+  lp.trip = trip;
+  lp.work.reserve(static_cast<std::size_t>(n));
+  for (long i = 0; i < n; ++i) {
+    const std::int32_t code = order_[static_cast<std::size_t>(i)];
+    const bool is_row = code < a_.rows();
+    const long cnt = is_row ? row_counts_[static_cast<std::size_t>(code)]
+                            : col_counts_[static_cast<std::size_t>(code - a_.rows())];
+    lp.work.push_back(0.9 * static_cast<double>(cnt) + 1.2);
+  }
+  lp.next_cost = 0;             // fused search runs as a DOALL
+  lp.writes_per_iter = 0;       // no backups, no time-stamps (DOANY)
+  lp.reads_per_iter = 1;
+  lp.overshoot_does_work = true;
+  return lp;
+}
+
+}  // namespace wlp::workloads

@@ -1,0 +1,70 @@
+// MCSPARSE DFACT loop 500 analog — Section 9, Table 2 row 3, Figures 8-11.
+//
+// MCSPARSE searches for a pivot in a non-deterministic manner: the program
+// is insensitive to the order in which rows and columns are examined.  The
+// paper fuses the (originally sequential) column WHILE loop with the
+// parallel row search into a single WHILE-DOANY: iterations examine
+// candidates in any order, the first acceptable pivot ends the loop, and —
+// although the terminator is RV and the execution overshoots — no backups
+// and no time-stamps are needed, because any admissible pivot is correct.
+//
+// Candidates are the matrix's rows and columns in a seeded shuffled order
+// (standing in for MCSPARSE's arbitrary search order); a candidate is
+// acceptable when it holds an entry passing the stability threshold whose
+// Markowitz cost is below an absolute bound.  How quickly the search finds
+// one depends on the matrix structure — the regular reservoir operators
+// accept almost immediately, the irregular power-flow matrices make the
+// search work — which reproduces the paper's observation that "the
+// available parallelism ... is strongly dependent on the data input".
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "wlp/core/report.hpp"
+#include "wlp/sched/thread_pool.hpp"
+#include "wlp/sim/machine.hpp"
+#include "wlp/workloads/ma28_pivot.hpp"
+#include "wlp/workloads/sparse_matrix.hpp"
+
+namespace wlp::workloads {
+
+struct DoanyConfig {
+  double threshold_u = 0.1;
+  long accept_cost = 36;  ///< absolute Markowitz acceptance bound
+  std::uint64_t seed = 500;
+};
+
+class McsparsePivotSearch {
+ public:
+  /// The matrix is copied, so temporaries are safe to pass.
+  McsparsePivotSearch(SparseMatrix a, DoanyConfig cfg = {});
+
+  long candidates() const noexcept { return static_cast<long>(order_.size()); }
+
+  /// Does this pivot satisfy the acceptance criteria?  (Used to validate
+  /// whatever the non-deterministic parallel search returns.)
+  bool acceptable(const PivotCandidate& c) const noexcept;
+
+  /// Sequential reference: the first acceptable candidate in search order.
+  PivotCandidate search_sequential(long* trip_out = nullptr) const;
+
+  /// WHILE-DOANY: overshoots, no undo; returns *an* acceptable pivot.
+  PivotCandidate search_doany(ThreadPool& pool, ExecReport& report) const;
+
+  sim::LoopProfile profile() const;
+
+ private:
+  /// Best acceptable entry of search candidate i (row or column); invalid
+  /// if the candidate holds none.
+  PivotCandidate scan(long i) const;
+
+  DoanyConfig cfg_;
+  SparseMatrix a_;
+  SparseMatrix at_;
+  // Candidate encoding: [0, rows) = row search, [rows, rows+cols) = column.
+  std::vector<std::int32_t> order_;
+  std::vector<std::int32_t> row_counts_, col_counts_;
+};
+
+}  // namespace wlp::workloads

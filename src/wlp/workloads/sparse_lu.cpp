@@ -1,0 +1,222 @@
+#include "wlp/workloads/sparse_lu.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "wlp/workloads/ma28_pivot.hpp"
+
+namespace wlp::workloads {
+
+MarkowitzLU::MarkowitzLU(const SparseMatrix& a, LUOptions opts)
+    : n_(a.rows()), opts_(opts) {
+  if (a.rows() != a.cols())
+    throw std::invalid_argument("MarkowitzLU: matrix must be square");
+  rows_.resize(static_cast<std::size_t>(n_));
+  col_rows_.resize(static_cast<std::size_t>(n_));
+  row_active_.assign(static_cast<std::size_t>(n_), true);
+  col_active_.assign(static_cast<std::size_t>(n_), true);
+  for (std::int32_t r = 0; r < n_; ++r) {
+    const auto cols = a.row_cols(r);
+    const auto vals = a.row_vals(r);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      rows_[static_cast<std::size_t>(r)][cols[k]] = vals[k];
+      col_rows_[static_cast<std::size_t>(cols[k])].insert(r);
+    }
+  }
+}
+
+bool MarkowitzLU::select_pivot(std::int32_t& pr, std::int32_t& pc) {
+  // MA30AD-style search: walk active rows in increasing nonzero count;
+  // within a row accept entries passing the stability threshold; stop once
+  // the best Markowitz cost cannot be improved by rows of higher count
+  // (the (nz-1)^2 early-exit heuristic — the loops the paper parallelizes).
+  long best_cost = std::numeric_limits<long>::max();
+  double best_abs = 0;
+  pr = pc = -1;
+
+  // Bucket active rows by count.
+  std::vector<std::vector<std::int32_t>> buckets(static_cast<std::size_t>(n_) + 1);
+  for (std::int32_t r = 0; r < n_; ++r) {
+    if (!row_active_[static_cast<std::size_t>(r)]) continue;
+    const auto cnt = static_cast<std::size_t>(rows_[static_cast<std::size_t>(r)].size());
+    if (cnt == 0) return false;  // structurally singular
+    buckets[cnt].push_back(r);
+  }
+
+  for (std::size_t nz = 1; nz <= static_cast<std::size_t>(n_); ++nz) {
+    // MA30AD semantics (and Ma28PivotSearch's): a whole count level is
+    // searched before the (nz-1)^2 bound is tested.
+    if (pr >= 0 && !buckets[nz].empty() &&
+        best_cost <= static_cast<long>((nz - 1) * (nz - 1)))
+      return true;
+    for (std::int32_t r : buckets[nz]) {
+      double maxrow = 0;
+      for (const auto& [c, v] : rows_[static_cast<std::size_t>(r)])
+        maxrow = std::max(maxrow, std::abs(v));
+      const long rcount = static_cast<long>(rows_[static_cast<std::size_t>(r)].size());
+      for (const auto& [c, v] : rows_[static_cast<std::size_t>(r)]) {
+        if (std::abs(v) < opts_.threshold_u * maxrow) continue;
+        const long ccount =
+            static_cast<long>(col_rows_[static_cast<std::size_t>(c)].size());
+        const long cost = (rcount - 1) * (ccount - 1);
+        if (cost < best_cost ||
+            (cost == best_cost && std::abs(v) > best_abs)) {
+          best_cost = cost;
+          best_abs = std::abs(v);
+          pr = r;
+          pc = c;
+        }
+      }
+    }
+  }
+  return pr >= 0;
+}
+
+void MarkowitzLU::eliminate(std::int32_t k, std::int32_t pr, std::int32_t pc) {
+  auto& prow = rows_[static_cast<std::size_t>(pr)];
+  const double d = prow.at(pc);
+  pivots_.push_back(d);
+  u_rows_.push_back(prow);
+
+  // Rows with an entry in the pivot column (other than the pivot row).
+  const std::set<std::int32_t> targets = col_rows_[static_cast<std::size_t>(pc)];
+  for (std::int32_t r : targets) {
+    if (r == pr) continue;
+    auto& row = rows_[static_cast<std::size_t>(r)];
+    const auto it = row.find(pc);
+    if (it == row.end()) continue;
+    const double f = it->second / d;
+    l_ops_.push_back({r, k, f});
+    row.erase(it);
+    col_rows_[static_cast<std::size_t>(pc)].erase(r);
+    for (const auto& [c, v] : prow) {
+      if (c == pc) continue;
+      auto [jt, inserted] = row.try_emplace(c, 0.0);
+      if (inserted) {
+        ++fill_in_;
+        col_rows_[static_cast<std::size_t>(c)].insert(r);
+      }
+      jt->second -= f * v;
+      if (jt->second == 0.0) {  // exact cancellation: drop the entry
+        row.erase(jt);
+        col_rows_[static_cast<std::size_t>(c)].erase(r);
+      }
+    }
+  }
+
+  // Retire the pivot row and column from the active submatrix.
+  for (const auto& [c, v] : prow) {
+    (void)v;
+    col_rows_[static_cast<std::size_t>(c)].erase(pr);
+  }
+  prow.clear();
+  row_active_[static_cast<std::size_t>(pr)] = false;
+  col_active_[static_cast<std::size_t>(pc)] = false;
+}
+
+bool MarkowitzLU::factor_steps(std::int32_t steps) {
+  const std::int32_t done = pivots_done();
+  const std::int32_t until = std::min(n_, done + steps);
+  for (std::int32_t k = done; k < until; ++k) {
+    std::int32_t pr, pc;
+    if (!select_pivot(pr, pc)) return false;
+    perm_row_.push_back(pr);
+    perm_col_.push_back(pc);
+    eliminate(k, pr, pc);
+  }
+  if (until == n_) factored_ = true;
+  return true;
+}
+
+bool MarkowitzLU::factor() {
+  perm_row_.clear();
+  perm_col_.clear();
+  pivots_.clear();
+  u_rows_.clear();
+  l_ops_.clear();
+  fill_in_ = 0;
+  return factor_steps(n_);
+}
+
+SparseMatrix MarkowitzLU::active_submatrix(std::vector<std::int32_t>* row_map,
+                                           std::vector<std::int32_t>* col_map) const {
+  std::vector<std::int32_t> rmap(static_cast<std::size_t>(n_), -1);
+  std::vector<std::int32_t> cmap(static_cast<std::size_t>(n_), -1);
+  std::int32_t nr = 0, nc = 0;
+  if (row_map) row_map->clear();
+  if (col_map) col_map->clear();
+  for (std::int32_t r = 0; r < n_; ++r)
+    if (row_active_[static_cast<std::size_t>(r)]) {
+      rmap[static_cast<std::size_t>(r)] = nr++;
+      if (row_map) row_map->push_back(r);
+    }
+  for (std::int32_t c = 0; c < n_; ++c)
+    if (col_active_[static_cast<std::size_t>(c)]) {
+      cmap[static_cast<std::size_t>(c)] = nc++;
+      if (col_map) col_map->push_back(c);
+    }
+
+  std::vector<Triplet> tri;
+  for (std::int32_t r = 0; r < n_; ++r) {
+    if (!row_active_[static_cast<std::size_t>(r)]) continue;
+    for (const auto& [c, v] : rows_[static_cast<std::size_t>(r)])
+      tri.push_back({rmap[static_cast<std::size_t>(r)],
+                     cmap[static_cast<std::size_t>(c)], v});
+  }
+  return SparseMatrix::from_triplets(nr, nc, std::move(tri));
+}
+
+bool MarkowitzLU::factor_parallel(ThreadPool& pool) {
+  perm_row_.clear();
+  perm_col_.clear();
+  pivots_.clear();
+  u_rows_.clear();
+  l_ops_.clear();
+  fill_in_ = 0;
+
+  std::vector<std::int32_t> row_map, col_map;
+  for (std::int32_t k = 0; k < n_; ++k) {
+    const SparseMatrix active = active_submatrix(&row_map, &col_map);
+    if (active.nnz() == 0) return false;
+    const Ma28PivotSearch search(active, {opts_.threshold_u, SearchAxis::kRows});
+    ExecReport rep;
+    const PivotCandidate c = search.search_induction1(pool, rep);
+    if (!c.valid()) return false;
+    const std::int32_t pr = row_map[static_cast<std::size_t>(c.row)];
+    const std::int32_t pc = col_map[static_cast<std::size_t>(c.col)];
+    perm_row_.push_back(pr);
+    perm_col_.push_back(pc);
+    eliminate(k, pr, pc);
+  }
+  factored_ = true;
+  return true;
+}
+
+std::vector<double> MarkowitzLU::solve(const std::vector<double>& b) const {
+  if (!factored_) throw std::logic_error("MarkowitzLU::solve before factor()");
+  std::vector<double> work = b;
+
+  // Forward: replay the elimination on the right-hand side in step order
+  // (l_ops_ is already recorded in step order).
+  for (const EliminationOp& op : l_ops_)
+    work[static_cast<std::size_t>(op.target_row)] -=
+        op.factor *
+        work[static_cast<std::size_t>(perm_row_[static_cast<std::size_t>(op.pivot_k)])];
+
+  // Back substitution over the pivot steps in reverse.
+  std::vector<double> x(static_cast<std::size_t>(n_), 0.0);
+  for (std::int32_t k = n_ - 1; k >= 0; --k) {
+    const auto pr = perm_row_[static_cast<std::size_t>(k)];
+    const auto pc = perm_col_[static_cast<std::size_t>(k)];
+    double acc = work[static_cast<std::size_t>(pr)];
+    for (const auto& [c, v] : u_rows_[static_cast<std::size_t>(k)]) {
+      if (c == pc) continue;
+      acc -= v * x[static_cast<std::size_t>(c)];
+    }
+    x[static_cast<std::size_t>(pc)] = acc / pivots_[static_cast<std::size_t>(k)];
+  }
+  return x;
+}
+
+}  // namespace wlp::workloads

@@ -1,0 +1,114 @@
+#include "wlp/workloads/sparse_matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace wlp::workloads {
+
+SparseMatrix SparseMatrix::from_triplets(std::int32_t rows, std::int32_t cols,
+                                         std::vector<Triplet> entries) {
+  for (const Triplet& t : entries)
+    if (t.row < 0 || t.row >= rows || t.col < 0 || t.col >= cols)
+      throw std::out_of_range("SparseMatrix::from_triplets: entry out of range");
+
+  std::sort(entries.begin(), entries.end(), [](const Triplet& a, const Triplet& b) {
+    if (a.row != b.row) return a.row < b.row;
+    return a.col < b.col;
+  });
+
+  SparseMatrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.row_ptr_.assign(static_cast<std::size_t>(rows) + 1, 0);
+
+  // Merge duplicates while counting.
+  std::size_t w = 0;
+  for (std::size_t r = 0; r < entries.size(); ++r) {
+    if (w > 0 && entries[w - 1].row == entries[r].row &&
+        entries[w - 1].col == entries[r].col) {
+      entries[w - 1].value += entries[r].value;
+    } else {
+      entries[w++] = entries[r];
+    }
+  }
+  entries.resize(w);
+
+  m.col_idx_.reserve(w);
+  m.values_.reserve(w);
+  for (const Triplet& t : entries) {
+    ++m.row_ptr_[static_cast<std::size_t>(t.row) + 1];
+    m.col_idx_.push_back(t.col);
+    m.values_.push_back(t.value);
+  }
+  for (std::size_t r = 0; r < static_cast<std::size_t>(rows); ++r)
+    m.row_ptr_[r + 1] += m.row_ptr_[r];
+  return m;
+}
+
+double SparseMatrix::at(std::int32_t r, std::int32_t c) const noexcept {
+  const auto cols = row_cols(r);
+  const auto it = std::lower_bound(cols.begin(), cols.end(), c);
+  if (it == cols.end() || *it != c) return 0.0;
+  return row_vals(r)[static_cast<std::size_t>(it - cols.begin())];
+}
+
+double SparseMatrix::max_abs_in_row(std::int32_t r) const noexcept {
+  double m = 0;
+  for (double v : row_vals(r)) m = std::max(m, std::abs(v));
+  return m;
+}
+
+std::vector<double> SparseMatrix::multiply(const std::vector<double>& x) const {
+  std::vector<double> y(static_cast<std::size_t>(rows_), 0.0);
+  for (std::int32_t r = 0; r < rows_; ++r) {
+    const auto cols = row_cols(r);
+    const auto vals = row_vals(r);
+    double acc = 0;
+    for (std::size_t k = 0; k < cols.size(); ++k)
+      acc += vals[k] * x[static_cast<std::size_t>(cols[k])];
+    y[static_cast<std::size_t>(r)] = acc;
+  }
+  return y;
+}
+
+SparseMatrix SparseMatrix::transpose() const {
+  std::vector<Triplet> tr;
+  tr.reserve(static_cast<std::size_t>(nnz()));
+  for (std::int32_t r = 0; r < rows_; ++r) {
+    const auto cols = row_cols(r);
+    const auto vals = row_vals(r);
+    for (std::size_t k = 0; k < cols.size(); ++k)
+      tr.push_back({cols[k], r, vals[k]});
+  }
+  return from_triplets(cols_, rows_, std::move(tr));
+}
+
+std::vector<std::int32_t> SparseMatrix::col_counts() const {
+  std::vector<std::int32_t> counts(static_cast<std::size_t>(cols_), 0);
+  for (std::int32_t c : col_idx_) ++counts[static_cast<std::size_t>(c)];
+  return counts;
+}
+
+std::vector<Triplet> SparseMatrix::to_triplets() const {
+  std::vector<Triplet> out;
+  out.reserve(static_cast<std::size_t>(nnz()));
+  for (std::int32_t r = 0; r < rows_; ++r) {
+    const auto cols = row_cols(r);
+    const auto vals = row_vals(r);
+    for (std::size_t k = 0; k < cols.size(); ++k)
+      out.push_back({r, cols[k], vals[k]});
+  }
+  return out;
+}
+
+double residual_inf_norm(const SparseMatrix& a, const std::vector<double>& x,
+                         const std::vector<double>& b) {
+  const std::vector<double> ax = a.multiply(x);
+  double norm = 0;
+  for (std::size_t i = 0; i < ax.size(); ++i)
+    norm = std::max(norm, std::abs(ax[i] - b[i]));
+  return norm;
+}
+
+}  // namespace wlp::workloads

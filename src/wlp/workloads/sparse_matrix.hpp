@@ -1,0 +1,74 @@
+// Sparse matrix substrate: COO/CSR storage, structural queries, and the
+// numeric kernels (matvec, residual) the solver tests verify against.
+// This is what the MA28 / MCSPARSE pivot-search workloads operate on.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace wlp::workloads {
+
+struct Triplet {
+  std::int32_t row;
+  std::int32_t col;
+  double value;
+};
+
+/// Compressed-sparse-row matrix with sorted column indices per row.
+class SparseMatrix {
+ public:
+  SparseMatrix() = default;
+
+  /// Build from triplets (duplicate entries are summed).
+  static SparseMatrix from_triplets(std::int32_t rows, std::int32_t cols,
+                                    std::vector<Triplet> entries);
+
+  std::int32_t rows() const noexcept { return rows_; }
+  std::int32_t cols() const noexcept { return cols_; }
+  long nnz() const noexcept { return static_cast<long>(values_.size()); }
+
+  long row_nnz(std::int32_t r) const noexcept {
+    return row_ptr_[static_cast<std::size_t>(r) + 1] - row_ptr_[static_cast<std::size_t>(r)];
+  }
+
+  std::span<const std::int32_t> row_cols(std::int32_t r) const noexcept {
+    const auto b = static_cast<std::size_t>(row_ptr_[static_cast<std::size_t>(r)]);
+    const auto e = static_cast<std::size_t>(row_ptr_[static_cast<std::size_t>(r) + 1]);
+    return {col_idx_.data() + b, e - b};
+  }
+  std::span<const double> row_vals(std::int32_t r) const noexcept {
+    const auto b = static_cast<std::size_t>(row_ptr_[static_cast<std::size_t>(r)]);
+    const auto e = static_cast<std::size_t>(row_ptr_[static_cast<std::size_t>(r) + 1]);
+    return {values_.data() + b, e - b};
+  }
+
+  /// Value at (r, c); 0 when the entry is structurally absent.
+  double at(std::int32_t r, std::int32_t c) const noexcept;
+
+  /// Largest |a_rc| in row r (the MA28 threshold-pivoting denominator).
+  double max_abs_in_row(std::int32_t r) const noexcept;
+
+  /// y = A * x.
+  std::vector<double> multiply(const std::vector<double>& x) const;
+
+  SparseMatrix transpose() const;
+
+  /// Per-column nonzero counts (the Markowitz c_j terms).
+  std::vector<std::int32_t> col_counts() const;
+
+  /// All triplets (row-major); used by the LU and the generators' tests.
+  std::vector<Triplet> to_triplets() const;
+
+ private:
+  std::int32_t rows_ = 0, cols_ = 0;
+  std::vector<long> row_ptr_;
+  std::vector<std::int32_t> col_idx_;
+  std::vector<double> values_;
+};
+
+/// ||A*x - b||_inf — the solver acceptance check.
+double residual_inf_norm(const SparseMatrix& a, const std::vector<double>& x,
+                         const std::vector<double>& b);
+
+}  // namespace wlp::workloads

@@ -1,0 +1,183 @@
+#include "wlp/workloads/spice.hpp"
+
+#include <cmath>
+
+#include "wlp/core/while_general.hpp"
+#include "wlp/core/wu_lewis.hpp"
+
+namespace wlp::workloads {
+
+SpiceLoad::SpiceLoad(SpiceConfig cfg) : cfg_(cfg) {
+  Xoshiro256 rng(cfg.seed);
+  list_ = NodePool<DeviceModel>::make(
+      cfg.devices, cfg.seed ^ 0x9e3779b97f4a7c15ULL, [&](long i, DeviceModel& m) {
+        m.stamp_base = static_cast<std::int32_t>(4 * i);
+        m.c0 = rng.uniform(1e-12, 1e-9);
+        m.bias = rng.uniform(-2.5, 2.5);
+        m.terms = static_cast<std::int16_t>(
+            rng.range(cfg.min_terms, cfg.max_terms));
+        const double pick = rng.uniform();
+        if (pick < cfg.bjt_fraction) {
+          m.kind = DeviceKind::kBJT;
+        } else if (pick < cfg.bjt_fraction + cfg.mosfet_fraction) {
+          m.kind = DeviceKind::kMOSFET;
+        } else {
+          m.kind = DeviceKind::kCapacitor;
+        }
+      });
+}
+
+namespace {
+
+/// Capacitor charge polynomial q(V) = c0 * sum_k V^k / k!, Horner form.
+double eval_capacitor(const DeviceModel& m) {
+  double acc = 0;
+  for (int k = m.terms; k > 0; --k) acc = (acc + 1.0 / k) * m.bias;
+  return m.c0 * (acc + std::exp(m.bias * 0.025));
+}
+
+/// Ebers-Moll-style BJT: two junction exponentials iterated to the model's
+/// precision — roughly 3x a capacitor's work per term.
+double eval_bjt(const DeviceModel& m) {
+  const double vt = 0.02585;
+  double ic = 0, ib = 0;
+  for (int k = 0; k < m.terms; ++k) {
+    const double vbe = m.bias - 0.002 * ic;
+    const double vbc = m.bias * 0.5 - 0.002 * ib;
+    ic = m.c0 * (std::exp(vbe / vt / (1 + k)) - std::exp(vbc / vt / (1 + k)));
+    ib = ic / 100.0 + m.c0 * 1e-3;
+  }
+  return ic + ib;
+}
+
+/// Level-1 MOSFET square-law with channel-length modulation, iterated —
+/// ~2x a capacitor's work per term.
+double eval_mosfet(const DeviceModel& m) {
+  const double vth = 0.7, kp = 1e-4, lambda = 0.02;
+  double id = 0;
+  for (int k = 0; k < m.terms; ++k) {
+    const double vgs = m.bias - 1e-3 * id;
+    const double vov = vgs - vth;
+    if (vov <= 0) {
+      id = 0;
+    } else {
+      const double vds = m.bias * 0.5;
+      id = vds < vov ? kp * (vov - vds / 2) * vds * (1 + lambda * vds)
+                     : 0.5 * kp * vov * vov * (1 + lambda * vds);
+    }
+  }
+  return id;
+}
+
+}  // namespace
+
+double SpiceLoad::evaluate(const DeviceModel& m) {
+  switch (m.kind) {
+    case DeviceKind::kCapacitor: return eval_capacitor(m);
+    case DeviceKind::kBJT:       return eval_bjt(m);
+    case DeviceKind::kMOSFET:    return eval_mosfet(m);
+  }
+  return 0;
+}
+
+std::vector<double> SpiceLoad::fresh_matrix() const {
+  return std::vector<double>(static_cast<std::size_t>(4 * list_.size()), 0.0);
+}
+
+void SpiceLoad::stamp(const DeviceModel& m, std::vector<double>& matrix) const {
+  const double g = evaluate(m);
+  const auto b = static_cast<std::size_t>(m.stamp_base);
+  matrix[b] += g;
+  matrix[b + 1] -= g;
+  matrix[b + 2] -= g;
+  matrix[b + 3] += g;
+}
+
+void SpiceLoad::run_sequential(std::vector<double>& matrix) const {
+  list_.for_each([&](const DeviceModel& m) { stamp(m, matrix); });
+}
+
+namespace {
+
+/// Shared adapter: the loop body every General-k / baseline method runs.
+struct SpiceBody {
+  const SpiceLoad* load;
+  const NodePool<DeviceModel>* list;
+  std::vector<double>* matrix;
+
+  IterAction operator()(long /*i*/, std::int32_t cursor, unsigned /*vpn*/) const {
+    const DeviceModel& m = list->payload(cursor);
+    const double g = SpiceLoad::evaluate(m);
+    const auto b = static_cast<std::size_t>(m.stamp_base);
+    (*matrix)[b] += g;
+    (*matrix)[b + 1] -= g;
+    (*matrix)[b + 2] -= g;
+    (*matrix)[b + 3] += g;
+    return IterAction::kContinue;
+  }
+};
+
+}  // namespace
+
+ExecReport SpiceLoad::run_general1(ThreadPool& pool, std::vector<double>& matrix) const {
+  SpiceBody body{this, &list_, &matrix};
+  return while_general1(
+      pool, list_.head(), [this](std::int32_t c) { return list_.next(c); },
+      [](std::int32_t c) { return NodePool<DeviceModel>::is_end(c); }, body);
+}
+
+ExecReport SpiceLoad::run_general2(ThreadPool& pool, std::vector<double>& matrix) const {
+  SpiceBody body{this, &list_, &matrix};
+  return while_general2(
+      pool, list_.head(), [this](std::int32_t c) { return list_.next(c); },
+      [](std::int32_t c) { return NodePool<DeviceModel>::is_end(c); }, body);
+}
+
+ExecReport SpiceLoad::run_general3(ThreadPool& pool, std::vector<double>& matrix) const {
+  SpiceBody body{this, &list_, &matrix};
+  return while_general3(
+      pool, list_.head(), [this](std::int32_t c) { return list_.next(c); },
+      [](std::int32_t c) { return NodePool<DeviceModel>::is_end(c); }, body);
+}
+
+ExecReport SpiceLoad::run_wu_lewis_distribute(ThreadPool& pool,
+                                              std::vector<double>& matrix) const {
+  SpiceBody body{this, &list_, &matrix};
+  return while_wu_lewis_distribute(
+      pool, list_.head(), [this](std::int32_t c) { return list_.next(c); },
+      [](std::int32_t c) { return NodePool<DeviceModel>::is_end(c); }, body,
+      list_.size());
+}
+
+ExecReport SpiceLoad::run_wu_lewis_doacross(ThreadPool& pool,
+                                            std::vector<double>& matrix) const {
+  SpiceBody body{this, &list_, &matrix};
+  return while_wu_lewis_doacross(
+      pool, list_.head(), [this](std::int32_t c) { return list_.next(c); },
+      [](std::int32_t c) { return NodePool<DeviceModel>::is_end(c); },
+      [&](long i, std::int32_t c, unsigned vpn) { body(i, c, vpn); },
+      list_.size());
+}
+
+sim::LoopProfile SpiceLoad::profile() const {
+  sim::LoopProfile lp;
+  lp.u = list_.size();
+  lp.trip = list_.size();  // RI terminator: the list end is the exit
+  lp.work.reserve(static_cast<std::size_t>(lp.u));
+  // Work cost in machine cycles: proportional to the model's term count
+  // scaled by its kind (BJT ~ 3x, MOSFET ~ 2x a capacitor term) plus the 4
+  // stamp updates.
+  list_.for_each([&](const DeviceModel& m) {
+    double scale = 0.55;
+    if (m.kind == DeviceKind::kBJT) scale = 1.65;
+    if (m.kind == DeviceKind::kMOSFET) scale = 1.1;
+    lp.work.push_back(scale * static_cast<double>(m.terms) + 2.0);
+  });
+  lp.next_cost = 1.0;         // one pointer chase per device
+  lp.writes_per_iter = 4;     // matrix stamps (not time-stamped: RI, no undo)
+  lp.reads_per_iter = 4;
+  lp.overshoot_does_work = false;
+  return lp;
+}
+
+}  // namespace wlp::workloads

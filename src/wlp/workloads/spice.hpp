@@ -1,0 +1,87 @@
+// SPICE LOAD loop 40 analog — Section 9, Table 2 row 1, Figure 6.
+//
+// The original loop traverses the linked list of capacitor device models and
+// loads (stamps) each model into the circuit matrix.  Structure:
+//
+//     ptr tmp = head(device_list)          ; general-recurrence dispatcher
+//     while (tmp != null)                  ; RI terminator
+//         WORK(tmp)  -- evaluate model, stamp 4 matrix entries (disjoint)
+//         tmp = next(tmp)
+//
+// Properties the paper exploits: the terminator is RI (no overshoot), every
+// device stamps its own matrix entries, so the remainder is fully parallel
+// and the methods run with *no backups and no time-stamps*.  Each device
+// model has a different evaluation cost (polynomial term count), which is
+// what makes General-3's dynamic scheduling pay off over General-2's static
+// assignment.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "wlp/core/report.hpp"
+#include "wlp/sched/thread_pool.hpp"
+#include "wlp/sim/machine.hpp"
+#include "wlp/workloads/linked_list.hpp"
+
+namespace wlp::workloads {
+
+/// Device classes on the model list.  Loop 40 proper loads capacitors; the
+/// paper notes that "the structure of Loop 40 is identical to those for the
+/// evaluation of transistor models (subroutines BJT and MOSFET), the same
+/// parallelization techniques can also be used on these loops" — and that
+/// LOAD (which calls BJT and MOSFET) is ~40% of SPICE's sequential time.
+enum class DeviceKind : std::uint8_t { kCapacitor, kBJT, kMOSFET };
+
+struct SpiceConfig {
+  long devices = 4000;
+  int min_terms = 4;    ///< lightest device model (polynomial terms)
+  int max_terms = 24;   ///< heaviest device model
+  double bjt_fraction = 0.0;     ///< transistor mix (0 = pure Loop 40)
+  double mosfet_fraction = 0.0;
+  std::uint64_t seed = 42;
+};
+
+struct DeviceModel {
+  std::int32_t stamp_base = 0;  ///< first of 4 disjoint matrix slots
+  double c0 = 0;                ///< base capacitance / saturation current
+  double bias = 0;              ///< operating-point bias
+  std::int16_t terms = 0;       ///< model complexity (work grain)
+  DeviceKind kind = DeviceKind::kCapacitor;
+};
+
+class SpiceLoad {
+ public:
+  explicit SpiceLoad(SpiceConfig cfg = {});
+
+  long devices() const noexcept { return list_.size(); }
+  const SpiceConfig& config() const noexcept { return cfg_; }
+
+  /// The WORK of Fig. 1(b): evaluate the charge polynomial of one device.
+  static double evaluate(const DeviceModel& m);
+
+  /// A zeroed conductance matrix of the right size (4 slots per device).
+  std::vector<double> fresh_matrix() const;
+
+  /// Sequential reference execution.
+  void run_sequential(std::vector<double>& matrix) const;
+
+  /// The three Section 3.3 methods plus the Wu-Lewis baselines.  All write
+  /// into `matrix` and must produce exactly the sequential result.
+  ExecReport run_general1(ThreadPool& pool, std::vector<double>& matrix) const;
+  ExecReport run_general2(ThreadPool& pool, std::vector<double>& matrix) const;
+  ExecReport run_general3(ThreadPool& pool, std::vector<double>& matrix) const;
+  ExecReport run_wu_lewis_distribute(ThreadPool& pool, std::vector<double>& matrix) const;
+  ExecReport run_wu_lewis_doacross(ThreadPool& pool, std::vector<double>& matrix) const;
+
+  /// Per-iteration work profile for the simulated machine (Fig. 6 curves).
+  sim::LoopProfile profile() const;
+
+ private:
+  void stamp(const DeviceModel& m, std::vector<double>& matrix) const;
+
+  SpiceConfig cfg_;
+  NodePool<DeviceModel> list_;
+};
+
+}  // namespace wlp::workloads

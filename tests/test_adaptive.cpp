@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "wlp/core/adaptive.hpp"
+
+namespace wlp {
+namespace {
+
+TEST(LoopStatistics, TripEstimateIsTheMean) {
+  LoopStatistics st;
+  st.record_trip(100);
+  st.record_trip(200);
+  st.record_trip(300);
+  EXPECT_EQ(st.invocations(), 3);
+  EXPECT_EQ(st.estimated_trip(), 200);
+}
+
+TEST(LoopStatistics, ConfidenceTightWhenStable) {
+  LoopStatistics st;
+  for (int k = 0; k < 10; ++k) st.record_trip(500);
+  EXPECT_DOUBLE_EQ(st.confidence(), 1.0);
+  // The Section 8.1 threshold: n'_i = confidence * n_i = 500.
+  EXPECT_EQ(st.stamp_threshold().value, 500);
+}
+
+TEST(LoopStatistics, ConfidenceDropsWhenVolatile) {
+  LoopStatistics st;
+  st.record_trip(100);
+  st.record_trip(1000);
+  EXPECT_LT(st.confidence(), 0.6);
+  EXPECT_LT(st.stamp_threshold().value, st.estimated_trip());
+}
+
+TEST(LoopStatistics, EmptyIsSafe) {
+  LoopStatistics st;
+  EXPECT_EQ(st.estimated_trip(), 0);
+  EXPECT_DOUBLE_EQ(st.confidence(), 0.0);
+  EXPECT_DOUBLE_EQ(st.parallel_probability(), 1.0);  // optimistic default
+}
+
+TEST(LoopStatistics, FailureHistoryLowersParallelProbability) {
+  LoopStatistics st;
+  ExecReport pass;
+  pass.pd_tested = true;
+  pass.pd_passed = true;
+  pass.trip = 100;
+  ExecReport fail = pass;
+  fail.pd_passed = false;
+  fail.reexecuted_sequentially = true;
+
+  for (int k = 0; k < 3; ++k) st.record(pass);
+  EXPECT_DOUBLE_EQ(st.parallel_probability(), 1.0);
+  st.record(fail);
+  EXPECT_DOUBLE_EQ(st.parallel_probability(), 0.75);
+}
+
+TEST(LoopStatistics, SpeculationGateFollowsHistory) {
+  // A loop with good attainable speedup but a failure-prone history.
+  Prediction pred;
+  pred.spat = 4.0;
+  pred.failed_slowdown = 5.0 / 8.0;
+
+  LoopStatistics healthy;
+  ExecReport pass;
+  pass.pd_tested = true;
+  pass.pd_passed = true;
+  healthy.record(pass);
+  EXPECT_TRUE(healthy.should_speculate(pred));
+
+  LoopStatistics burned;
+  ExecReport fail;
+  fail.pd_tested = true;
+  fail.pd_passed = false;
+  for (int k = 0; k < 10; ++k) burned.record(fail);
+  EXPECT_FALSE(burned.should_speculate(pred));
+}
+
+TEST(LoopStatistics, MixedHistoryBalancesExpectation) {
+  Prediction pred;
+  pred.spat = 2.0;
+  pred.failed_slowdown = 2.5;  // p = 2: failures are expensive
+  LoopStatistics st;
+  ExecReport pass, fail;
+  pass.pd_tested = fail.pd_tested = true;
+  pass.pd_passed = true;
+  fail.pd_passed = false;
+  // 50/50 history: expected = 0.5*2.0 + 0.5/(3.5) = 1.14 > 1.05 -> go.
+  st.record(pass);
+  st.record(fail);
+  EXPECT_TRUE(st.should_speculate(pred));
+  // 1/4 success: expected = 0.25*2 + 0.75/3.5 = 0.71 -> no.
+  st.record(fail);
+  st.record(fail);
+  EXPECT_FALSE(st.should_speculate(pred));
+}
+
+}  // namespace
+}  // namespace wlp

@@ -1,0 +1,44 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "wlp/core/constructs.hpp"
+
+namespace wlp {
+namespace {
+
+TEST(Constructs, WhileDoallRecoversTrip) {
+  ThreadPool pool(4);
+  const ExecReport r = while_doall(pool, 5000, [](long i, unsigned) {
+    return i >= 1234 ? IterAction::kExit : IterAction::kContinue;
+  });
+  EXPECT_EQ(r.trip, 1234);
+}
+
+TEST(Constructs, WhileDoacrossPreservesOrderAndNeverOvershoots) {
+  ThreadPool pool(4);
+  std::atomic<long> par_runs{0};
+  long chain = 0;  // carried through the sequential phases
+  const ExecReport r = while_doacross(
+      pool, 10000,
+      [&](long i) {
+        EXPECT_EQ(chain, i);  // strict program order
+        ++chain;
+        return i < 777;
+      },
+      [&](long, unsigned) { par_runs.fetch_add(1); });
+  EXPECT_EQ(r.trip, 777);
+  EXPECT_EQ(par_runs.load(), 777);
+}
+
+TEST(Constructs, WhileDoanyStopsOnAnyAcceptable) {
+  ThreadPool pool(4);
+  const ExecReport r = while_doany(pool, 100000, [](long i, unsigned) {
+    return i % 500 == 123 ? IterAction::kExitAfter : IterAction::kContinue;
+  });
+  EXPECT_EQ(r.method, Method::kDoany);
+  EXPECT_LT(r.started, 100000);
+}
+
+}  // namespace
+}  // namespace wlp

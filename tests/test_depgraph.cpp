@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "wlp/analysis/depgraph.hpp"
+
+namespace wlp::ir {
+namespace {
+
+bool has_edge(const DepGraph& g, int from, int to, DepKind kind, bool carried) {
+  return std::any_of(g.edges.begin(), g.edges.end(), [&](const DepEdge& e) {
+    return e.from == from && e.to == to && e.kind == kind &&
+           e.loop_carried == carried;
+  });
+}
+
+TEST(DepGraph, ScalarSelfRecurrenceIsCarriedFlow) {
+  Loop loop;
+  loop.max_iters = 10;
+  loop.body.push_back(assign_scalar("x", bin('+', scalar("x"), cnst(1))));
+  const DepGraph g = build_dep_graph(loop);
+  EXPECT_TRUE(has_edge(g, 0, 0, DepKind::kFlow, true));
+}
+
+TEST(DepGraph, DefBeforeUseIsIndependentFlowOnly) {
+  Loop loop;
+  loop.max_iters = 10;
+  loop.body.push_back(assign_scalar("x", index()));
+  loop.body.push_back(assign_array("A", index(), scalar("x")));
+  const DepGraph g = build_dep_graph(loop);
+  EXPECT_TRUE(has_edge(g, 0, 1, DepKind::kFlow, false));
+  // No anti edge back: x is privatizable/expandable.
+  EXPECT_FALSE(has_edge(g, 1, 0, DepKind::kAnti, true));
+  const auto priv = privatizable_scalars(loop);
+  EXPECT_NE(std::find(priv.begin(), priv.end(), "x"), priv.end());
+}
+
+TEST(DepGraph, UseBeforeDefIsCarriedFlow) {
+  Loop loop;
+  loop.max_iters = 10;
+  loop.body.push_back(assign_array("A", index(), scalar("r")));
+  loop.body.push_back(assign_scalar("r", bin('+', scalar("r"), cnst(1))));
+  const DepGraph g = build_dep_graph(loop);
+  EXPECT_TRUE(has_edge(g, 1, 0, DepKind::kFlow, true));
+  const auto priv = privatizable_scalars(loop);
+  EXPECT_EQ(std::find(priv.begin(), priv.end(), "r"), priv.end());
+}
+
+TEST(DepGraph, ArraySameSubscriptIsIndependent) {
+  // A[i] = A[i] * 2: read and write at distance 0 -> loop-independent only.
+  Loop loop;
+  loop.max_iters = 10;
+  loop.body.push_back(
+      assign_array("A", index(), bin('*', array("A", index()), cnst(2))));
+  const DepGraph g = build_dep_graph(loop);
+  for (const DepEdge& e : g.edges) EXPECT_FALSE(e.loop_carried);
+}
+
+TEST(DepGraph, ArrayDistanceOneIsCarried) {
+  // A[i] = A[i-1] + 1: carried flow with distance 1.
+  Loop loop;
+  loop.max_iters = 10;
+  loop.body.push_back(assign_array(
+      "A", index(), bin('+', array("A", bin('-', index(), cnst(1))), cnst(1))));
+  const DepGraph g = build_dep_graph(loop);
+  EXPECT_TRUE(has_edge(g, 0, 0, DepKind::kFlow, true));
+}
+
+TEST(DepGraph, ArrayDependenceDistanceBeyondRangeIgnored) {
+  // A[i] = A[i-100] with only 10 iterations: no dependence.
+  Loop loop;
+  loop.max_iters = 10;
+  loop.body.push_back(assign_array(
+      "A", index(), array("A", bin('-', index(), cnst(100)))));
+  const DepGraph g = build_dep_graph(loop);
+  for (const DepEdge& e : g.edges) EXPECT_FALSE(e.loop_carried);
+}
+
+TEST(DepGraph, ZivSameConstantIsCarriedOutput) {
+  // A[3] = i: every iteration writes the same element.
+  Loop loop;
+  loop.max_iters = 10;
+  loop.body.push_back(assign_array("A", cnst(3), index()));
+  const DepGraph g = build_dep_graph(loop);
+  // self output dependence, carried
+  EXPECT_TRUE(has_edge(g, 0, 0, DepKind::kOutput, true));
+}
+
+TEST(DepGraph, UnknownSubscriptMakesUnknownEdges) {
+  Loop loop;
+  loop.max_iters = 10;
+  loop.body.push_back(assign_array("A", array("B", index()), index()));
+  loop.body.push_back(assign_scalar("s", array("A", index())));
+  const DepGraph g = build_dep_graph(loop);
+  EXPECT_TRUE(std::any_of(g.edges.begin(), g.edges.end(),
+                          [](const DepEdge& e) { return e.unknown; }));
+  const auto unk = unanalyzable_arrays(loop);
+  ASSERT_EQ(unk.size(), 1u);
+  EXPECT_EQ(unk[0], "A");
+}
+
+TEST(DepGraph, ExitControlEdges) {
+  Loop loop;
+  loop.max_iters = 10;
+  loop.body.push_back(assign_array("A", index(), index()));  // s0 before exit
+  loop.body.push_back(exit_if(bin('G', index(), cnst(5))));  // s1
+  loop.body.push_back(assign_array("C", index(), index()));  // s2 after exit
+  const DepGraph g = build_dep_graph(loop);
+  EXPECT_TRUE(has_edge(g, 1, 0, DepKind::kControl, true));   // carried back
+  EXPECT_TRUE(has_edge(g, 1, 2, DepKind::kControl, false));  // same iteration
+}
+
+TEST(DepGraph, SccOrderRespectsDependences) {
+  // s0: exit-if f(r) ; s1: A[i] = r ; s2: r = r*3+1
+  Loop loop;
+  loop.max_iters = 10;
+  loop.body.push_back(exit_if(bin('>', call("f", scalar("r")), cnst(100))));
+  loop.body.push_back(assign_array("A", index(), scalar("r")));
+  loop.body.push_back(
+      assign_scalar("r", bin('+', bin('*', scalar("r"), cnst(3)), cnst(1))));
+  const DepGraph g = build_dep_graph(loop);
+  const auto sccs = strongly_connected_components(g);
+  // {exit, r-update} form one component; the WORK statement its own.
+  ASSERT_EQ(sccs.size(), 2u);
+  EXPECT_EQ(sccs[0], (std::vector<int>{0, 2}));
+  EXPECT_EQ(sccs[1], (std::vector<int>{1}));
+}
+
+TEST(DepGraph, IndependentStatementsAreSingletonSccs) {
+  Loop loop;
+  loop.max_iters = 10;
+  loop.body.push_back(assign_array("A", index(), index()));
+  loop.body.push_back(assign_array("B", index(), index()));
+  const auto sccs = strongly_connected_components(build_dep_graph(loop));
+  EXPECT_EQ(sccs.size(), 2u);
+}
+
+}  // namespace
+}  // namespace wlp::ir

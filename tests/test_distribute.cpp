@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "wlp/analysis/distribute.hpp"
+#include "wlp/support/prng.hpp"
+
+namespace wlp::ir {
+namespace {
+
+Env rich_env(long n) {
+  Env e;
+  e.scalars = {{"r", 1.0}, {"k", 0.0}, {"p", 40.0}, {"V", 1e6}};
+  e.arrays["A"] = std::vector<double>(static_cast<std::size_t>(n), 0.0);
+  e.arrays["B"] = std::vector<double>(static_cast<std::size_t>(n), 0.0);
+  e.arrays["R"] = std::vector<double>(static_cast<std::size_t>(n), 0.0);
+  for (long i = 0; i < n; ++i)
+    e.arrays["R"][static_cast<std::size_t>(i)] = std::fmod(i * 0.37, 1.0);
+  e.funcs["f"] = [](double x) { return x * 0.5; };
+  e.funcs["next"] = [](double x) { return x - 1; };
+  e.funcs["work"] = [](double x) { return x * x + 1; };
+  return e;
+}
+
+void expect_equivalent(const Loop& loop, const Distribution& d, Env base) {
+  Env seq = base, dist = base;
+  const long t1 = run_sequential(loop, seq);
+  const long t2 = run_distributed(loop, d, dist);
+  EXPECT_EQ(t1, t2) << to_string(d, loop);
+  EXPECT_EQ(seq.scalars, dist.scalars) << to_string(d, loop);
+  for (const auto& [name, arr] : seq.arrays) {
+    const auto& other = dist.arrays.at(name);
+    ASSERT_EQ(arr.size(), other.size());
+    for (std::size_t i = 0; i < arr.size(); ++i)
+      EXPECT_NEAR(arr[i], other[i], 1e-12) << name << "[" << i << "] "
+                                           << to_string(d, loop);
+  }
+}
+
+TEST(Distribute, Fig3LoopSplitsIntoPrefixAndDoall) {
+  // while (f(r) < V) { WORK(r); r = 3r + 1 }
+  Loop loop;
+  loop.name = "fig3";
+  loop.max_iters = 64;
+  loop.body.push_back(exit_if(bin('G', call("f", scalar("r")), scalar("V"))));
+  loop.body.push_back(assign_array("A", index(), call("work", scalar("r"))));
+  loop.body.push_back(
+      assign_scalar("r", bin('+', bin('*', cnst(3), scalar("r")), cnst(1))));
+
+  const Distribution d = distribute(loop);
+  ASSERT_EQ(d.blocks.size(), 2u);
+  EXPECT_EQ(d.blocks[0].rec.kind, BlockKind::kAssociative);
+  EXPECT_TRUE(d.blocks[0].rec.contains_exit);
+  EXPECT_EQ(d.blocks[1].rec.kind, BlockKind::kParallel);
+
+  expect_equivalent(loop, d, rich_env(64));
+}
+
+TEST(Distribute, ListTraversalLoop) {
+  // while (p != 0) { A[i] = work(p); p = next(p) }  (p counts down from 40)
+  Loop loop;
+  loop.max_iters = 100;
+  loop.body.push_back(exit_if(bin('=', scalar("p"), cnst(0))));
+  loop.body.push_back(assign_array("A", index(), call("work", scalar("p"))));
+  loop.body.push_back(assign_scalar("p", call("next", scalar("p"))));
+
+  const Distribution d = distribute(loop);
+  ASSERT_EQ(d.blocks.size(), 2u);
+  EXPECT_EQ(d.blocks[0].rec.kind, BlockKind::kGeneralRecurrence);
+  EXPECT_TRUE(d.blocks[0].rec.contains_exit);
+
+  Env base = rich_env(100);
+  Env probe = base;
+  EXPECT_EQ(run_sequential(loop, probe), 40);  // p: 40 -> 0
+  expect_equivalent(loop, d, base);
+}
+
+TEST(Distribute, RVExitInRemainderStillEquivalent) {
+  // for i: { A[i] = R[i]*2 ; exit-if A[i] > 1.5 }  (exit depends on remainder)
+  Loop loop;
+  loop.max_iters = 50;
+  loop.body.push_back(
+      assign_array("A", index(), bin('*', array("R", index()), cnst(2))));
+  loop.body.push_back(exit_if(bin('>', array("A", index()), cnst(1.5))));
+  const Distribution d = distribute(loop);
+  expect_equivalent(loop, d, rich_env(50));
+}
+
+TEST(Distribute, CarriedArrayChainStaysOneBlockAndRuns) {
+  // A[i+1] = A[i] + R[i] — sequential chain; distribution must not break it.
+  Loop loop;
+  loop.max_iters = 40;
+  loop.body.push_back(assign_array(
+      "A", bin('+', index(), cnst(1)),
+      bin('+', array("A", index()), array("R", index()))));
+  const Distribution d = distribute(loop);
+  expect_equivalent(loop, d, rich_env(41));
+}
+
+TEST(Fuse, ContiguousParallelBlocksMerge) {
+  Loop loop;
+  loop.max_iters = 20;
+  loop.body.push_back(assign_array("A", index(), index()));
+  loop.body.push_back(assign_array("B", index(), bin('*', index(), cnst(2))));
+  const Distribution d = distribute(loop);
+  ASSERT_EQ(d.blocks.size(), 2u);
+  const Distribution f = fuse(loop, d);
+  ASSERT_EQ(f.blocks.size(), 1u);
+  EXPECT_EQ(f.blocks[0].rec.kind, BlockKind::kParallel);
+  expect_equivalent(loop, f, rich_env(20));
+}
+
+TEST(Fuse, RecurrenceBlocksKeepIdentity) {
+  Loop loop;
+  loop.max_iters = 20;
+  loop.body.push_back(assign_scalar("k", bin('+', scalar("k"), cnst(1))));
+  loop.body.push_back(
+      assign_scalar("r", bin('+', bin('*', cnst(2), scalar("r")), cnst(1))));
+  loop.body.push_back(assign_array("A", index(), bin('+', scalar("k"), scalar("r"))));
+  const Distribution f = fuse(loop, distribute(loop));
+  // induction + associative stay separate; the consumer is its own block.
+  ASSERT_EQ(f.blocks.size(), 3u);
+  expect_equivalent(loop, f, rich_env(20));
+}
+
+// ---------------------------------------------------------------------------
+// Property: randomized loops — distributed execution == sequential execution.
+// ---------------------------------------------------------------------------
+
+Loop random_loop(Xoshiro256& rng) {
+  Loop loop;
+  loop.max_iters = 10 + static_cast<long>(rng.below(40));
+
+  // Dispatcher: one of induction / affine / pointer-chase / none.
+  switch (rng.below(4)) {
+    case 0:
+      loop.body.push_back(assign_scalar("k", bin('+', scalar("k"), cnst(1))));
+      break;
+    case 1:
+      loop.body.push_back(assign_scalar(
+          "r", bin('+', bin('*', cnst(2), scalar("r")), cnst(1))));
+      break;
+    case 2:
+      loop.body.push_back(assign_scalar("p", call("next", scalar("p"))));
+      loop.body.push_back(exit_if(bin('=', scalar("p"), cnst(0))));
+      break;
+    default:
+      break;
+  }
+
+  // Remainder: 1-3 array statements over distinct arrays.
+  const char* arrays[] = {"A", "B"};
+  const auto stmts = 1 + rng.below(2);
+  for (std::uint64_t k = 0; k < stmts; ++k) {
+    const char* arr = arrays[k % 2];
+    switch (rng.below(3)) {
+      case 0:
+        loop.body.push_back(assign_array(arr, index(), bin('*', index(), cnst(2))));
+        break;
+      case 1:
+        loop.body.push_back(assign_array(
+            arr, index(), bin('+', array("R", index()), cnst(1))));
+        break;
+      default:
+        // carried chain, shifted so iteration 0 reads in range
+        loop.body.push_back(assign_array(
+            arr, bin('+', index(), cnst(1)),
+            bin('+', array(arr, index()), cnst(1))));
+        break;
+    }
+  }
+
+  // Possibly an RI exit on the loop counter.
+  if (rng.chance(0.5))
+    loop.body.push_back(
+        exit_if(bin('G', index(), cnst(static_cast<double>(rng.below(30))))));
+  // Possibly an RV exit on computed data.
+  if (rng.chance(0.3))
+    loop.body.push_back(exit_if(bin('>', array("A", index()), cnst(30.0))));
+  return loop;
+}
+
+class DistributionProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DistributionProperty, DistributedMatchesSequential) {
+  Xoshiro256 rng(GetParam());
+  for (int round = 0; round < 20; ++round) {
+    const Loop loop = random_loop(rng);
+    ASSERT_FALSE(validate(loop).has_value());
+    const Distribution d = distribute(loop);
+    expect_equivalent(loop, d, rich_env(loop.max_iters + 1));
+    const Distribution f = fuse(loop, d);
+    expect_equivalent(loop, f, rich_env(loop.max_iters + 1));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DistributionProperty,
+                         ::testing::Values(101u, 202u, 303u, 404u, 505u));
+
+}  // namespace
+}  // namespace wlp::ir

@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <vector>
+
+#include "wlp/sched/doacross.hpp"
+
+namespace wlp {
+namespace {
+
+TEST(Doacross, SequentialPhasesObserveProgramOrder) {
+  ThreadPool pool(4);
+  std::vector<long> seq_order;
+  std::mutex mu;  // seq phases are serialized by the pipeline; the mutex only
+                  // guards the vector against the test's own data race rules
+  long counter = 0;
+
+  const DoacrossResult r = doacross_while(
+      pool, 500,
+      [&](long i) {
+        std::lock_guard lock(mu);
+        seq_order.push_back(i);
+        ++counter;
+        return true;
+      },
+      [](long, unsigned) {});
+
+  EXPECT_EQ(r.trip, 500);
+  ASSERT_EQ(seq_order.size(), 500u);
+  for (long i = 0; i < 500; ++i) EXPECT_EQ(seq_order[static_cast<std::size_t>(i)], i);
+  EXPECT_EQ(counter, 500);
+}
+
+TEST(Doacross, StopEndsThePipelineExactly) {
+  ThreadPool pool(4);
+  std::atomic<long> par_runs{0};
+  const DoacrossResult r = doacross_while(
+      pool, 10000, [&](long i) { return i < 123; },
+      [&](long, unsigned) { par_runs.fetch_add(1); });
+  EXPECT_EQ(r.trip, 123);
+  EXPECT_EQ(par_runs.load(), 123);  // no overshoot, ever
+}
+
+TEST(Doacross, CarriedStateFlowsThroughSeqPhases) {
+  ThreadPool pool(4);
+  // The sequential phase carries a running product; each parallel phase
+  // records the value it was handed.  The handoff must match a serial run.
+  std::vector<long> handed(200, -1);
+  long x = 1;
+  std::vector<long> staged(200);
+  const DoacrossResult r = doacross_while(
+      pool, 200,
+      [&](long i) {
+        staged[static_cast<std::size_t>(i)] = x;
+        x = x * 3 % 1000003;
+        return true;
+      },
+      [&](long i, unsigned) { handed[static_cast<std::size_t>(i)] = staged[static_cast<std::size_t>(i)]; });
+  EXPECT_EQ(r.trip, 200);
+  long expect = 1;
+  for (long i = 0; i < 200; ++i) {
+    EXPECT_EQ(handed[static_cast<std::size_t>(i)], expect);
+    expect = expect * 3 % 1000003;
+  }
+}
+
+TEST(Doacross, ZeroAndOneIteration) {
+  ThreadPool pool(4);
+  EXPECT_EQ(doacross_while(pool, 0, [](long) { return true; },
+                           [](long, unsigned) {})
+                .trip,
+            0);
+  EXPECT_EQ(doacross_while(pool, 5, [](long) { return false; },
+                           [](long, unsigned) {})
+                .trip,
+            0);
+  std::atomic<int> runs{0};
+  EXPECT_EQ(doacross_while(pool, 1, [](long) { return true; },
+                           [&](long, unsigned) { runs.fetch_add(1); })
+                .trip,
+            1);
+  EXPECT_EQ(runs.load(), 1);
+}
+
+TEST(SequentialDispatcherPass, RecordsTermsUntilTerminator) {
+  std::vector<long> terms;
+  const long trip = sequential_dispatcher_pass<long>(
+      terms, 1, [](long x) { return x * 2; }, [](long x) { return x > 64; }, 100);
+  EXPECT_EQ(trip, 7);  // 1 2 4 8 16 32 64
+  const std::vector<long> expect{1, 2, 4, 8, 16, 32, 64};
+  EXPECT_EQ(terms, expect);
+}
+
+TEST(SequentialDispatcherPass, BoundedByMaxIters) {
+  std::vector<long> terms;
+  const long trip = sequential_dispatcher_pass<long>(
+      terms, 0, [](long x) { return x + 1; }, [](long) { return false; }, 10);
+  EXPECT_EQ(trip, 10);
+  EXPECT_EQ(terms.size(), 10u);
+}
+
+}  // namespace
+}  // namespace wlp

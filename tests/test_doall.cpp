@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include "wlp/sched/doall.hpp"
+
+namespace wlp {
+namespace {
+
+struct DoallSchedCase {
+  Sched sched;
+  long chunk;
+  const char* name;
+};
+
+class DoallAllSchedules : public ::testing::TestWithParam<DoallSchedCase> {};
+
+TEST_P(DoallAllSchedules, PlainDoallCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  const long n = 1000;
+  std::vector<std::atomic<int>> hits(n);
+  DoallOptions opts;
+  opts.sched = GetParam().sched;
+  opts.chunk = GetParam().chunk;
+  doall(pool, 0, n, [&](long i, unsigned) { hits[static_cast<std::size_t>(i)]++; },
+        opts);
+  for (long i = 0; i < n; ++i) EXPECT_EQ(hits[static_cast<std::size_t>(i)].load(), 1);
+}
+
+TEST_P(DoallAllSchedules, QuitTripIsExactAndPrefixComplete) {
+  ThreadPool pool(4);
+  const long n = 2000;
+  const long exit_at = 777;
+  std::vector<std::atomic<int>> hits(n);
+  DoallOptions opts;
+  opts.sched = GetParam().sched;
+  opts.chunk = GetParam().chunk;
+  const QuitResult qr = doall_quit(
+      pool, 0, n,
+      [&](long i, unsigned) {
+        hits[static_cast<std::size_t>(i)]++;
+        return i >= exit_at ? IterAction::kExit : IterAction::kContinue;
+      },
+      opts);
+  EXPECT_EQ(qr.trip, exit_at);
+  // Every iteration below the trip count must have executed exactly once.
+  for (long i = 0; i < exit_at; ++i)
+    EXPECT_EQ(hits[static_cast<std::size_t>(i)].load(), 1) << "iteration " << i;
+  // No iteration ran twice.
+  long started = 0;
+  for (long i = 0; i < n; ++i) {
+    EXPECT_LE(hits[static_cast<std::size_t>(i)].load(), 1);
+    started += hits[static_cast<std::size_t>(i)].load();
+  }
+  EXPECT_EQ(started, qr.started);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schedules, DoallAllSchedules,
+    ::testing::Values(DoallSchedCase{Sched::kDynamic, 1, "dyn1"},
+                      DoallSchedCase{Sched::kDynamic, 16, "dyn16"},
+                      DoallSchedCase{Sched::kStaticCyclic, 1, "cyclic"},
+                      DoallSchedCase{Sched::kStaticBlock, 1, "block"}),
+    [](const auto& info) { return info.param.name; });
+
+TEST(DoallQuit, ExitAfterCountsTheIteration) {
+  ThreadPool pool(4);
+  const QuitResult qr = doall_quit(pool, 0, 100, [&](long i, unsigned) {
+    return i == 40 ? IterAction::kExitAfter : IterAction::kContinue;
+  });
+  EXPECT_EQ(qr.trip, 41);
+}
+
+TEST(DoallQuit, MinimumOfMultipleExitsWins) {
+  ThreadPool pool(8);
+  const QuitResult qr = doall_quit(pool, 0, 500, [&](long i, unsigned) {
+    if (i == 200 || i == 150 || i == 420) return IterAction::kExit;
+    return IterAction::kContinue;
+  });
+  EXPECT_EQ(qr.trip, 150);
+}
+
+TEST(DoallQuit, NoExitMeansTripIsUpperBound) {
+  ThreadPool pool(4);
+  const QuitResult qr =
+      doall_quit(pool, 0, 321, [](long, unsigned) { return IterAction::kContinue; });
+  EXPECT_EQ(qr.trip, 321);
+  EXPECT_EQ(qr.started, 321);
+}
+
+TEST(DoallQuit, EmptyRange) {
+  ThreadPool pool(4);
+  const QuitResult qr =
+      doall_quit(pool, 0, 0, [](long, unsigned) { return IterAction::kExit; });
+  EXPECT_EQ(qr.trip, 0);
+  EXPECT_EQ(qr.started, 0);
+}
+
+TEST(DoallQuit, UseQuitFalseExecutesEverything) {
+  ThreadPool pool(4);
+  DoallOptions opts;
+  opts.use_quit = false;
+  const QuitResult qr = doall_quit(
+      pool, 0, 300,
+      [](long i, unsigned) {
+        return i == 10 ? IterAction::kExit : IterAction::kContinue;
+      },
+      opts);
+  EXPECT_EQ(qr.trip, 10);
+  EXPECT_EQ(qr.started, 300);  // Induction-1: no QUIT hardware
+}
+
+TEST(DoallQuit, UseQuitTrueCutsOvershoot) {
+  ThreadPool pool(4);
+  const QuitResult qr = doall_quit(pool, 0, 100000, [](long i, unsigned) {
+    return i == 10 ? IterAction::kExit : IterAction::kContinue;
+  });
+  EXPECT_EQ(qr.trip, 10);
+  // The cut must prevent the vast majority of the range from running.
+  EXPECT_LT(qr.started, 1000);
+}
+
+TEST(DoallQuit, NonZeroLowerBound) {
+  ThreadPool pool(4);
+  std::atomic<long> sum{0};
+  const QuitResult qr = doall_quit(pool, 100, 200, [&](long i, unsigned) {
+    sum += i;
+    return IterAction::kContinue;
+  });
+  EXPECT_EQ(qr.trip, 200);
+  EXPECT_EQ(sum.load(), (100 + 199) * 100 / 2);
+}
+
+TEST(QuitBound, FetchMinSemantics) {
+  QuitBound q;
+  EXPECT_FALSE(q.cut(1000000));
+  q.quit(50);
+  q.quit(70);
+  q.quit(20);
+  EXPECT_EQ(q.bound(), 20);
+  EXPECT_TRUE(q.cut(20));
+  EXPECT_TRUE(q.cut(21));
+  EXPECT_FALSE(q.cut(19));
+}
+
+}  // namespace
+}  // namespace wlp

@@ -1,0 +1,161 @@
+// Guarded (conditional) statements through the whole analysis pipeline:
+// semantics, dependence treatment, classification, distribution and planned
+// parallel execution.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "wlp/analysis/execute_plan.hpp"
+#include "wlp/support/prng.hpp"
+
+namespace wlp::ir {
+namespace {
+
+Env guard_env(long n) {
+  Env e;
+  e.scalars = {{"acc", 0.0}, {"k", 0.0}};
+  e.arrays["A"] = std::vector<double>(static_cast<std::size_t>(n), 0.0);
+  e.arrays["R"] = std::vector<double>(static_cast<std::size_t>(n), 0.0);
+  for (long i = 0; i < n; ++i)
+    e.arrays["R"][static_cast<std::size_t>(i)] = static_cast<double>(i % 7);
+  return e;
+}
+
+TEST(Guards, SequentialSemantics) {
+  // if (R[i] > 3) A[i] = 1
+  Loop loop;
+  loop.max_iters = 20;
+  loop.body.push_back(
+      guarded(assign_array("A", index(), cnst(1)),
+              bin('>', array("R", index()), cnst(3))));
+  Env e = guard_env(20);
+  EXPECT_EQ(run_sequential(loop, e), 20);
+  for (long i = 0; i < 20; ++i)
+    EXPECT_EQ(e.arrays["A"][static_cast<std::size_t>(i)], (i % 7) > 3 ? 1.0 : 0.0);
+}
+
+TEST(Guards, GuardedScalarIsSelfUse) {
+  // if (R[i] > 3) acc = acc + 1  — a conditional accumulator.
+  Loop loop;
+  loop.max_iters = 20;
+  loop.body.push_back(
+      guarded(assign_scalar("acc", bin('+', scalar("acc"), cnst(1))),
+              bin('>', array("R", index()), cnst(3))));
+  const auto info = summarize(loop);
+  EXPECT_TRUE(info[0].scalar_uses.count("acc"));  // implicit keep
+  // Not privatizable: the def does not dominate its (implicit) use.
+  const auto priv = privatizable_scalars(loop);
+  EXPECT_EQ(std::find(priv.begin(), priv.end(), "acc"), priv.end());
+}
+
+TEST(Guards, ConditionalInductionIsNotClosedForm) {
+  Loop loop;
+  loop.max_iters = 20;
+  loop.body.push_back(
+      guarded(assign_scalar("k", bin('+', scalar("k"), cnst(1))),
+              bin('>', array("R", index()), cnst(3))));
+  const Distribution d = distribute(loop);
+  ASSERT_EQ(d.blocks.size(), 1u);
+  EXPECT_EQ(d.blocks[0].rec.kind, BlockKind::kSequential);
+}
+
+TEST(Guards, UnguardedSiblingStaysParallel) {
+  Loop loop;
+  loop.max_iters = 30;
+  loop.body.push_back(
+      guarded(assign_scalar("acc", bin('+', scalar("acc"), cnst(1))),
+              bin('>', array("R", index()), cnst(3))));
+  loop.body.push_back(assign_array("A", index(), bin('*', index(), cnst(2))));
+  const Distribution d = distribute(loop);
+  ASSERT_EQ(d.blocks.size(), 2u);
+  EXPECT_EQ(d.blocks[0].rec.kind, BlockKind::kSequential);
+  EXPECT_EQ(d.blocks[1].rec.kind, BlockKind::kParallel);
+}
+
+TEST(Guards, DistributedExecutionMatchesSequential) {
+  // Mixed: conditional accumulator + guarded array write + RV exit.
+  Loop loop;
+  loop.max_iters = 50;
+  loop.body.push_back(
+      guarded(assign_scalar("acc", bin('+', scalar("acc"), cnst(1))),
+              bin('>', array("R", index()), cnst(3))));
+  loop.body.push_back(
+      guarded(assign_array("A", index(), scalar("acc")),
+              bin('<', array("R", index()), cnst(5))));
+  loop.body.push_back(exit_if(bin('G', scalar("acc"), cnst(12))));
+
+  Env seq = guard_env(50), dist = guard_env(50);
+  const long t1 = run_sequential(loop, seq);
+  const long t2 = run_distributed(loop, distribute(loop), dist);
+  EXPECT_EQ(t1, t2);
+  EXPECT_EQ(seq.scalars, dist.scalars);
+  EXPECT_EQ(seq.arrays.at("A"), dist.arrays.at("A"));
+}
+
+TEST(Guards, PlannedParallelExecutionMatchesSequential) {
+  Loop loop;
+  loop.max_iters = 60;
+  loop.body.push_back(
+      guarded(assign_scalar("acc", bin('+', scalar("acc"), cnst(2))),
+              bin('>', array("R", index()), cnst(2))));
+  loop.body.push_back(assign_array("A", index(), bin('+', scalar("acc"), index())));
+  loop.body.push_back(
+      guarded(exit_if(bin('>', scalar("acc"), cnst(40))),
+              bin('>', array("R", index()), cnst(0))));
+
+  ThreadPool pool(4);
+  Env seq = guard_env(60), par = guard_env(60);
+  const long t1 = run_sequential(loop, seq);
+  const ParallelPlan plan = make_plan(loop);
+  const PlanExecution ex = run_parallel_plan(pool, loop, plan, par);
+  EXPECT_EQ(ex.trip, t1) << plan.to_text(loop);
+  EXPECT_EQ(seq.scalars, par.scalars);
+  EXPECT_EQ(seq.arrays.at("A"), par.arrays.at("A"));
+}
+
+TEST(Guards, ToStringShowsGuard) {
+  const Stmt s = guarded(assign_array("A", index(), cnst(1)),
+                         bin('>', scalar("x"), cnst(0)));
+  EXPECT_EQ(to_string(s), "if (x > 0): A[i] = 1");
+}
+
+/// Property: randomized guarded loops stay equivalent through distribution
+/// and planned parallel execution.
+class GuardProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GuardProperty, AllExecutionsAgree) {
+  ThreadPool pool(4);
+  Xoshiro256 rng(GetParam());
+  for (int round = 0; round < 12; ++round) {
+    Loop loop;
+    loop.max_iters = 10 + static_cast<long>(rng.below(30));
+    const double cut = static_cast<double>(rng.below(7));
+    if (rng.chance(0.7))
+      loop.body.push_back(
+          guarded(assign_scalar("acc", bin('+', scalar("acc"), cnst(1))),
+                  bin('>', array("R", index()), cnst(cut))));
+    loop.body.push_back(
+        guarded(assign_array("A", index(), bin('+', index(), cnst(1))),
+                bin('<', array("R", index()), cnst(cut + 2))));
+    if (rng.chance(0.5))
+      loop.body.push_back(
+          exit_if(bin('G', index(), cnst(static_cast<double>(rng.below(25))))));
+
+    Env base = guard_env(loop.max_iters + 1);
+    Env seq = base, dist = base, par = base;
+    const long t1 = run_sequential(loop, seq);
+    EXPECT_EQ(run_distributed(loop, distribute(loop), dist), t1);
+    const PlanExecution ex =
+        run_parallel_plan(pool, loop, make_plan(loop), par);
+    EXPECT_EQ(ex.trip, t1);
+    EXPECT_EQ(seq.scalars, dist.scalars);
+    EXPECT_EQ(seq.scalars, par.scalars);
+    EXPECT_EQ(seq.arrays.at("A"), dist.arrays.at("A"));
+    EXPECT_EQ(seq.arrays.at("A"), par.arrays.at("A"));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GuardProperty, ::testing::Values(7u, 77u, 777u));
+
+}  // namespace
+}  // namespace wlp::ir

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "wlp/workloads/hb_generator.hpp"
+
+namespace wlp::workloads {
+namespace {
+
+void expect_diag_dominant(const SparseMatrix& m) {
+  for (std::int32_t r = 0; r < m.rows(); ++r) {
+    double off = 0;
+    const auto cols = m.row_cols(r);
+    const auto vals = m.row_vals(r);
+    double diag = 0;
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      if (cols[k] == r)
+        diag = std::abs(vals[k]);
+      else
+        off += std::abs(vals[k]);
+    }
+    ASSERT_GT(diag, off) << "row " << r;
+  }
+}
+
+TEST(HBGenerator, Gematt11MatchesPublishedShape) {
+  const SparseMatrix m = gen_gematt11();
+  const HBInfo info = info_gematt11();
+  EXPECT_EQ(m.rows(), info.n);
+  EXPECT_EQ(m.cols(), info.n);
+  // nnz within 2% of the original's count.
+  EXPECT_NEAR(static_cast<double>(m.nnz()), static_cast<double>(info.paper_nnz),
+              0.02 * static_cast<double>(info.paper_nnz));
+}
+
+TEST(HBGenerator, Orsreg1Is7PointOperator) {
+  const SparseMatrix m = gen_orsreg1();
+  EXPECT_EQ(m.rows(), 2205);  // 21 * 21 * 5
+  // Interior cells have 7 entries; none more.
+  long interior7 = 0;
+  for (std::int32_t r = 0; r < m.rows(); ++r) {
+    ASSERT_LE(m.row_nnz(r), 7);
+    ASSERT_GE(m.row_nnz(r), 4);  // corner cells: 3 neighbors + diagonal
+    if (m.row_nnz(r) == 7) ++interior7;
+  }
+  EXPECT_EQ(interior7, (21 - 2) * (21 - 2) * (5 - 2));  // interior cells
+  EXPECT_NEAR(static_cast<double>(m.nnz()),
+              static_cast<double>(info_orsreg1().paper_nnz),
+              0.05 * static_cast<double>(info_orsreg1().paper_nnz));
+}
+
+TEST(HBGenerator, Saylr4Shape) {
+  const SparseMatrix m = gen_saylr4();
+  EXPECT_EQ(m.rows(), 3564);  // 33 * 12 * 9
+  EXPECT_NEAR(static_cast<double>(m.nnz()),
+              static_cast<double>(info_saylr4().paper_nnz),
+              0.05 * static_cast<double>(info_saylr4().paper_nnz));
+}
+
+TEST(HBGenerator, AllFourAreDiagonallyDominant) {
+  expect_diag_dominant(gen_orsreg1());
+  expect_diag_dominant(gen_saylr4());
+  expect_diag_dominant(gen_power_flow(300, 2000, 0.02, 7));  // small stand-in
+}
+
+TEST(HBGenerator, DeterministicForSeed) {
+  const SparseMatrix a = gen_power_flow(200, 1400, 0.02, 5);
+  const SparseMatrix b = gen_power_flow(200, 1400, 0.02, 5);
+  ASSERT_EQ(a.nnz(), b.nnz());
+  const auto ta = a.to_triplets();
+  const auto tb = b.to_triplets();
+  for (std::size_t k = 0; k < ta.size(); ++k) {
+    EXPECT_EQ(ta[k].row, tb[k].row);
+    EXPECT_EQ(ta[k].col, tb[k].col);
+    EXPECT_EQ(ta[k].value, tb[k].value);
+  }
+}
+
+TEST(HBGenerator, PowerFlowHasIrregularDegreesGridDoesNot) {
+  const SparseMatrix pf = gen_power_flow(500, 3500, 0.02, 9);
+  const SparseMatrix grid = gen_grid7(8, 8, 8);
+  auto degree_spread = [](const SparseMatrix& m) {
+    long max_deg = 0;
+    for (std::int32_t r = 0; r < m.rows(); ++r)
+      max_deg = std::max<long>(max_deg, m.row_nnz(r));
+    return static_cast<double>(max_deg) /
+           (static_cast<double>(m.nnz()) / m.rows());
+  };
+  // Hub rows dominate in the power-flow pattern; the grid is uniform.
+  EXPECT_GT(degree_spread(pf), 2.0);
+  EXPECT_LT(degree_spread(grid), 1.6);
+}
+
+TEST(HBGenerator, GridStructureIsSymmetric) {
+  const SparseMatrix g = gen_grid7(5, 4, 3);
+  const SparseMatrix gt = g.transpose();
+  for (std::int32_t r = 0; r < g.rows(); ++r) {
+    const auto cols = g.row_cols(r);
+    for (std::int32_t c : cols)
+      EXPECT_NE(gt.at(r, c), 0.0) << "structural asymmetry at " << r << "," << c;
+  }
+}
+
+TEST(HBGenerator, GemattVariantsDiffer) {
+  const SparseMatrix a = gen_gematt11();
+  const SparseMatrix b = gen_gematt12();
+  EXPECT_EQ(a.rows(), b.rows());
+  // Same order, different coupling: hub concentration differs.
+  long max_a = 0, max_b = 0;
+  for (std::int32_t r = 0; r < a.rows(); ++r) {
+    max_a = std::max<long>(max_a, a.row_nnz(r));
+    max_b = std::max<long>(max_b, b.row_nnz(r));
+  }
+  EXPECT_NE(max_a, max_b);
+}
+
+}  // namespace
+}  // namespace wlp::workloads

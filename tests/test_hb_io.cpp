@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "wlp/workloads/hb_generator.hpp"
+#include "wlp/workloads/hb_io.hpp"
+
+namespace wlp::workloads {
+namespace {
+
+void expect_same(const SparseMatrix& a, const SparseMatrix& b) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  ASSERT_EQ(a.nnz(), b.nnz());
+  for (std::int32_t r = 0; r < a.rows(); ++r) {
+    const auto ca = a.row_cols(r);
+    const auto cb = b.row_cols(r);
+    ASSERT_EQ(ca.size(), cb.size()) << "row " << r;
+    const auto va = a.row_vals(r);
+    const auto vb = b.row_vals(r);
+    for (std::size_t k = 0; k < ca.size(); ++k) {
+      EXPECT_EQ(ca[k], cb[k]);
+      EXPECT_NEAR(va[k], vb[k], 1e-10 * std::max(1.0, std::abs(va[k])));
+    }
+  }
+}
+
+TEST(HarwellBoeing, RoundTripSmallMatrix) {
+  const SparseMatrix m = SparseMatrix::from_triplets(
+      3, 4, {{0, 0, 1.5}, {0, 3, -2.25}, {1, 1, 1e-9}, {2, 0, 4.0}, {2, 2, 7.5}});
+  std::stringstream buf;
+  write_harwell_boeing(buf, m, "round trip", "T1");
+  const SparseMatrix back = read_harwell_boeing(buf);
+  expect_same(m, back);
+}
+
+TEST(HarwellBoeing, RoundTripGeneratedInputs) {
+  for (const SparseMatrix& m :
+       {gen_grid7(6, 5, 3), gen_power_flow(120, 800, 0.03, 3)}) {
+    std::stringstream buf;
+    write_harwell_boeing(buf, m);
+    expect_same(m, read_harwell_boeing(buf));
+  }
+}
+
+TEST(HarwellBoeing, ReadsSymmetricByExpanding) {
+  // Hand-written RSA file: lower triangle of [[2,1],[1,3]].
+  std::stringstream buf;
+  buf << std::string(72, ' ') + "KEY" << "\n";
+  buf << "             3             1             1             1             0\n";
+  buf << "RSA                        2             2             3             0\n";
+  buf << "(8I10)          (8I10)          (4E20.12)\n";
+  buf << "         1         3         4\n";
+  buf << "         1         2         2\n";
+  buf << "  2.0  1.0  3.0\n";
+  const SparseMatrix m = read_harwell_boeing(buf);
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.nnz(), 4);  // off-diagonal mirrored
+  EXPECT_EQ(m.at(0, 0), 2.0);
+  EXPECT_EQ(m.at(0, 1), 1.0);
+  EXPECT_EQ(m.at(1, 0), 1.0);
+  EXPECT_EQ(m.at(1, 1), 3.0);
+}
+
+TEST(HarwellBoeing, FortranDExponents) {
+  std::stringstream buf;
+  buf << std::string(80, ' ') << "\n";
+  buf << "             3             1             1             1             0\n";
+  buf << "RUA                        1             1             1             0\n";
+  buf << "(8I10)          (8I10)          (4E20.12)\n";
+  buf << "         1         2\n";
+  buf << "         1\n";
+  buf << "  1.5D+02\n";
+  const SparseMatrix m = read_harwell_boeing(buf);
+  EXPECT_EQ(m.at(0, 0), 150.0);
+}
+
+TEST(HarwellBoeing, RejectsComplexAndElementTypes) {
+  auto make = [](const std::string& mxtype) {
+    std::stringstream buf;
+    buf << std::string(80, ' ') << "\n";
+    buf << "             3             1             1             1             0\n";
+    buf << mxtype << "                        1             1             1             0\n";
+    buf << "(8I10)          (8I10)          (4E20.12)\n";
+    buf << "         1         2\n         1\n  1.0\n";
+    return buf.str();
+  };
+  {
+    std::stringstream buf(make("CUA"));
+    EXPECT_THROW(read_harwell_boeing(buf), std::runtime_error);
+  }
+  {
+    std::stringstream buf(make("RUE"));
+    EXPECT_THROW(read_harwell_boeing(buf), std::runtime_error);
+  }
+}
+
+TEST(HarwellBoeing, RejectsTruncatedFile) {
+  std::stringstream buf;
+  buf << "just a title\n";
+  EXPECT_THROW(read_harwell_boeing(buf), std::runtime_error);
+}
+
+TEST(HarwellBoeing, RejectsBadPointers) {
+  std::stringstream buf;
+  buf << std::string(80, ' ') << "\n";
+  buf << "             3             1             1             1             0\n";
+  buf << "RUA                        2             2             2             0\n";
+  buf << "(8I10)          (8I10)          (4E20.12)\n";
+  buf << "         1         9         3\n";  // pointer beyond nnz
+  buf << "         1         2\n  1.0  1.0\n";
+  EXPECT_THROW(read_harwell_boeing(buf), std::runtime_error);
+}
+
+TEST(HarwellBoeing, FileRoundTrip) {
+  const SparseMatrix m = gen_grid7(4, 4, 2);
+  const std::string path = "/tmp/wlp_hb_test.rua";
+  write_harwell_boeing_file(path, m, "grid", "GRID");
+  expect_same(m, read_harwell_boeing_file(path));
+}
+
+}  // namespace
+}  // namespace wlp::workloads

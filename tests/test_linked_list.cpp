@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "wlp/workloads/linked_list.hpp"
+
+namespace wlp::workloads {
+namespace {
+
+TEST(NodePool, LogicalOrderIndependentOfStorageOrder) {
+  // Two pools with different shuffle seeds must visit payloads in the same
+  // logical order even though the nodes sit at different pool positions.
+  auto a = NodePool<long>::make(100, 1, [](long i, long& v) { v = i; });
+  auto b = NodePool<long>::make(100, 2, [](long i, long& v) { v = i; });
+  long expect = 0;
+  for (std::int32_t ca = a.head(), cb = b.head(); ca != kNullNode;
+       ca = a.next(ca), cb = b.next(cb)) {
+    EXPECT_EQ(a.payload(ca), expect);
+    EXPECT_EQ(b.payload(cb), expect);
+    ++expect;
+  }
+  EXPECT_EQ(expect, 100);
+}
+
+TEST(NodePool, StorageIsActuallyShuffled) {
+  auto list = NodePool<long>::make(257, 7, [](long i, long& v) { v = i; });
+  // If head were always pool slot 0 and next were i+1, the permutation
+  // would be the identity; check some traversal step crosses pool order.
+  bool non_monotone = false;
+  for (std::int32_t c = list.head(); c != kNullNode; c = list.next(c))
+    if (list.next(c) != kNullNode && list.next(c) < c) non_monotone = true;
+  EXPECT_TRUE(non_monotone);
+}
+
+TEST(NodePool, EmptyAndSingle) {
+  auto empty = NodePool<int>::make(0, 3, [](long, int&) {});
+  EXPECT_EQ(empty.head(), kNullNode);
+  EXPECT_EQ(empty.size(), 0);
+
+  auto one = NodePool<int>::make(1, 3, [](long, int& v) { v = 42; });
+  ASSERT_NE(one.head(), kNullNode);
+  EXPECT_EQ(one.payload(one.head()), 42);
+  EXPECT_EQ(one.next(one.head()), kNullNode);
+}
+
+TEST(NodePool, ForEachVisitsAllOnce) {
+  auto list = NodePool<long>::make(64, 9, [](long i, long& v) { v = i * i; });
+  std::set<long> seen;
+  long count = 0;
+  list.for_each([&](const long& v) {
+    seen.insert(v);
+    ++count;
+  });
+  EXPECT_EQ(count, 64);
+  EXPECT_EQ(seen.size(), 64u);
+  EXPECT_TRUE(seen.count(63L * 63L));
+}
+
+TEST(NodePool, DeterministicForSeed) {
+  auto a = NodePool<long>::make(50, 11, [](long i, long& v) { v = i; });
+  auto b = NodePool<long>::make(50, 11, [](long i, long& v) { v = i; });
+  EXPECT_EQ(a.head(), b.head());
+  for (std::int32_t ca = a.head(), cb = b.head(); ca != kNullNode;
+       ca = a.next(ca), cb = b.next(cb))
+    EXPECT_EQ(ca, cb);
+}
+
+TEST(NodePool, PayloadsMutable) {
+  auto list = NodePool<long>::make(10, 1, [](long, long& v) { v = 0; });
+  list.payload(list.head()) = 99;
+  EXPECT_EQ(list.payload(list.head()), 99);
+}
+
+}  // namespace
+}  // namespace wlp::workloads

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include "wlp/analysis/loop_ir.hpp"
+
+namespace wlp::ir {
+namespace {
+
+Env basic_env() {
+  Env e;
+  e.scalars = {{"x", 2.0}, {"V", 100.0}};
+  e.arrays = {{"A", {0, 0, 0, 0, 0}}, {"B", {4, 3, 2, 1, 0}}};
+  e.funcs = {{"f", [](double v) { return v * v; }},
+             {"next", [](double v) { return v - 1; }}};
+  return e;
+}
+
+TEST(Eval, ArithmeticAndComparisons) {
+  const Env e = basic_env();
+  EXPECT_EQ(eval(bin('+', cnst(2), cnst(3)), e, 0), 5.0);
+  EXPECT_EQ(eval(bin('*', index(), cnst(4)), e, 3), 12.0);
+  EXPECT_EQ(eval(bin('<', scalar("x"), scalar("V")), e, 0), 1.0);
+  EXPECT_EQ(eval(bin('G', cnst(5), cnst(5)), e, 0), 1.0);
+  EXPECT_EQ(eval(bin('!', cnst(5), cnst(5)), e, 0), 0.0);
+}
+
+TEST(Eval, ArrayAndCall) {
+  const Env e = basic_env();
+  EXPECT_EQ(eval(array("B", index()), e, 1), 3.0);
+  EXPECT_EQ(eval(call("f", cnst(4)), e, 0), 16.0);
+  // Subscripted subscript: A[B[4]] with B[4] = 0.
+  EXPECT_EQ(eval(array("A", array("B", cnst(4))), e, 0), 0.0);
+}
+
+TEST(Eval, ErrorsOnUndefinedNames) {
+  const Env e = basic_env();
+  EXPECT_THROW(eval(scalar("nope"), e, 0), std::runtime_error);
+  EXPECT_THROW(eval(array("nope", cnst(0)), e, 0), std::runtime_error);
+  EXPECT_THROW(eval(call("nope", cnst(0)), e, 0), std::runtime_error);
+  EXPECT_THROW(eval(array("A", cnst(99)), e, 0), std::runtime_error);
+}
+
+TEST(RunSequential, ExitBeforeLaterStatements) {
+  // for i: { exit-if i >= 3; A[i] = i }
+  Loop loop;
+  loop.max_iters = 10;
+  loop.body.push_back(exit_if(bin('G', index(), cnst(3))));
+  loop.body.push_back(assign_array("A", index(), index()));
+  Env e = basic_env();
+  EXPECT_EQ(run_sequential(loop, e), 3);
+  EXPECT_EQ(e.arrays["A"], (std::vector<double>{0, 1, 2, 0, 0}));
+}
+
+TEST(RunSequential, StatementsBeforeExitRunInExitIteration) {
+  // for i: { A[i] = 7; exit-if i >= 2 }
+  Loop loop;
+  loop.max_iters = 5;
+  loop.body.push_back(assign_array("A", index(), cnst(7)));
+  loop.body.push_back(exit_if(bin('G', index(), cnst(2))));
+  Env e = basic_env();
+  EXPECT_EQ(run_sequential(loop, e), 2);
+  EXPECT_EQ(e.arrays["A"], (std::vector<double>{7, 7, 7, 0, 0}));
+}
+
+TEST(RunSequential, ScalarRecurrence) {
+  // x = x * 2 each iteration, 4 iterations.
+  Loop loop;
+  loop.max_iters = 4;
+  loop.body.push_back(assign_scalar("x", bin('*', scalar("x"), cnst(2))));
+  Env e = basic_env();
+  EXPECT_EQ(run_sequential(loop, e), 4);
+  EXPECT_EQ(e.scalars["x"], 32.0);
+}
+
+TEST(Validate, RejectsDoubleScalarAssignment) {
+  Loop loop;
+  loop.max_iters = 1;
+  loop.body.push_back(assign_scalar("x", cnst(1)));
+  loop.body.push_back(assign_scalar("x", cnst(2)));
+  const auto err = validate(loop);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_NE(err->find("x"), std::string::npos);
+}
+
+TEST(Validate, AcceptsWellFormedLoop) {
+  Loop loop;
+  loop.max_iters = 1;
+  loop.body.push_back(assign_scalar("x", cnst(1)));
+  loop.body.push_back(assign_array("A", index(), scalar("x")));
+  EXPECT_FALSE(validate(loop).has_value());
+}
+
+TEST(SubscriptAnalysis, AffineForms) {
+  EXPECT_TRUE(analyze_subscript(index()).affine);
+  EXPECT_EQ(analyze_subscript(index()).a, 1);
+
+  const auto two_i_plus_3 = analyze_subscript(
+      bin('+', bin('*', cnst(2), index()), cnst(3)));
+  EXPECT_TRUE(two_i_plus_3.affine);
+  EXPECT_EQ(two_i_plus_3.a, 2);
+  EXPECT_EQ(two_i_plus_3.b, 3);
+
+  const auto i_minus_1 = analyze_subscript(bin('-', index(), cnst(1)));
+  EXPECT_TRUE(i_minus_1.affine);
+  EXPECT_EQ(i_minus_1.a, 1);
+  EXPECT_EQ(i_minus_1.b, -1);
+
+  const auto constant = analyze_subscript(cnst(5));
+  EXPECT_TRUE(constant.affine);
+  EXPECT_EQ(constant.a, 0);
+  EXPECT_EQ(constant.b, 5);
+}
+
+TEST(SubscriptAnalysis, NonAffineForms) {
+  // i*i is nonlinear; B[i] is a subscripted subscript; scalars are opaque.
+  EXPECT_FALSE(analyze_subscript(bin('*', index(), index())).affine);
+  EXPECT_FALSE(analyze_subscript(array("B", index())).affine);
+  EXPECT_FALSE(analyze_subscript(scalar("k")).affine);
+}
+
+TEST(Summarize, CollectsDefsUsesAndAccesses) {
+  Loop loop;
+  loop.max_iters = 1;
+  // x = A[i] + y ; A[i+1] = x ; exit-if x > V
+  loop.body.push_back(assign_scalar("x", bin('+', array("A", index()), scalar("y"))));
+  loop.body.push_back(assign_array("A", bin('+', index(), cnst(1)), scalar("x")));
+  loop.body.push_back(exit_if(bin('>', scalar("x"), scalar("V"))));
+
+  const auto info = summarize(loop);
+  ASSERT_EQ(info.size(), 3u);
+  EXPECT_TRUE(info[0].scalar_defs.count("x"));
+  EXPECT_TRUE(info[0].scalar_uses.count("y"));
+  ASSERT_EQ(info[0].accesses.size(), 1u);
+  EXPECT_FALSE(info[0].accesses[0].is_write);
+
+  ASSERT_EQ(info[1].accesses.size(), 1u);
+  EXPECT_TRUE(info[1].accesses[0].is_write);
+  EXPECT_EQ(info[1].accesses[0].sub.b, 1);
+  EXPECT_TRUE(info[1].scalar_uses.count("x"));
+
+  EXPECT_TRUE(info[2].is_exit);
+  EXPECT_TRUE(info[2].scalar_uses.count("x"));
+}
+
+TEST(ToString, RendersReadably) {
+  const Stmt s = assign_array("A", index(), bin('*', scalar("r"), cnst(2)));
+  EXPECT_EQ(to_string(s), "A[i] = (r * 2)");
+  EXPECT_EQ(to_string(exit_if(bin('=', scalar("p"), cnst(0)))),
+            "exit-if (p = 0)");
+}
+
+}  // namespace
+}  // namespace wlp::ir

@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "wlp/workloads/hb_generator.hpp"
+#include "wlp/workloads/mcsparse_pivot.hpp"
+
+namespace wlp::workloads {
+namespace {
+
+TEST(McsparseSearch, SequentialFindsAcceptablePivot) {
+  const SparseMatrix m = gen_grid7(10, 10, 4);
+  McsparsePivotSearch search(m, {});
+  long trip = 0;
+  const PivotCandidate p = search.search_sequential(&trip);
+  ASSERT_TRUE(p.valid());
+  EXPECT_TRUE(search.acceptable(p));
+  EXPECT_GT(trip, 0);
+}
+
+TEST(McsparseSearch, DoanyReturnsSomeAcceptablePivot) {
+  ThreadPool pool(4);
+  const SparseMatrix m = gen_power_flow(500, 3200, 0.03, 77);
+  McsparsePivotSearch search(m, {});
+  ExecReport r;
+  const PivotCandidate p = search.search_doany(pool, r);
+  ASSERT_TRUE(p.valid());
+  // DOANY contract: any admissible pivot is correct — not necessarily the
+  // sequential one.
+  EXPECT_TRUE(search.acceptable(p));
+  EXPECT_EQ(r.method, Method::kDoany);
+  EXPECT_FALSE(r.used_stamps);      // no time-stamps
+  EXPECT_FALSE(r.used_checkpoint);  // no backups
+}
+
+TEST(McsparseSearch, DoanyStopsEarly) {
+  ThreadPool pool(4);
+  const SparseMatrix m = gen_grid7(12, 12, 5);
+  McsparsePivotSearch search(m, {});
+  ExecReport r;
+  const PivotCandidate p = search.search_doany(pool, r);
+  ASSERT_TRUE(p.valid());
+  EXPECT_LT(r.started, search.candidates());
+}
+
+TEST(McsparseSearch, CandidatesCoverRowsAndColumns) {
+  const SparseMatrix m = gen_grid7(5, 5, 2);
+  McsparsePivotSearch search(m, {});
+  EXPECT_EQ(search.candidates(), m.rows() + m.cols());
+}
+
+TEST(McsparseSearch, TighterAcceptanceMeansLongerSearch) {
+  // The mechanism behind the paper's input-dependent speedups: how many
+  // candidates fail the acceptance criteria determines the search depth and
+  // therefore the available parallelism.  Tightening the bound must
+  // monotonically lengthen the search.
+  const SparseMatrix m = gen_gematt11();
+  long prev_trip = 0;
+  for (long bound : {36L, 9L, 1L, 0L}) {
+    DoanyConfig cfg;
+    cfg.accept_cost = bound;
+    McsparsePivotSearch search(m, cfg);
+    long trip = 0;
+    search.search_sequential(&trip);
+    EXPECT_GE(trip, prev_trip) << "bound=" << bound;
+    prev_trip = trip;
+  }
+  EXPECT_GT(prev_trip, 1);  // the tightest bound forces a genuine search
+}
+
+TEST(McsparseSearch, UnacceptableEverywhereRunsFullSearch) {
+  const SparseMatrix m = gen_power_flow(100, 650, 0.05, 9);
+  DoanyConfig cfg;
+  cfg.accept_cost = -1;  // nothing can pass
+  McsparsePivotSearch search(m, cfg);
+  long trip = 0;
+  const PivotCandidate p = search.search_sequential(&trip);
+  EXPECT_FALSE(p.valid());
+  EXPECT_EQ(trip, search.candidates());
+
+  ThreadPool pool(4);
+  ExecReport r;
+  const PivotCandidate dp = search.search_doany(pool, r);
+  EXPECT_FALSE(dp.valid());
+  EXPECT_EQ(r.started, search.candidates());
+}
+
+TEST(McsparseSearch, ProfileMatchesSequentialTrip) {
+  const SparseMatrix m = gen_saylr4();
+  McsparsePivotSearch search(m, {});
+  long trip = 0;
+  search.search_sequential(&trip);
+  const auto lp = search.profile();
+  EXPECT_EQ(lp.trip, trip);
+  EXPECT_EQ(lp.u, search.candidates());
+  EXPECT_EQ(lp.writes_per_iter, 0);  // DOANY: no stamps
+}
+
+}  // namespace
+}  // namespace wlp::workloads

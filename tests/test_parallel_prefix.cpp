@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "wlp/sched/parallel_prefix.hpp"
+#include "wlp/support/prng.hpp"
+
+namespace wlp {
+namespace {
+
+TEST(ParallelScan, MatchesSequentialSum) {
+  ThreadPool pool(4);
+  std::vector<long> xs(1000);
+  std::iota(xs.begin(), xs.end(), 1);
+  std::vector<long> expected = xs;
+  std::partial_sum(expected.begin(), expected.end(), expected.begin());
+  parallel_inclusive_scan(pool, std::span<long>(xs), 0L,
+                          [](long a, long b) { return a + b; });
+  EXPECT_EQ(xs, expected);
+}
+
+TEST(ParallelScan, EmptyAndSingleton) {
+  ThreadPool pool(4);
+  std::vector<long> empty;
+  parallel_inclusive_scan(pool, std::span<long>(empty), 0L,
+                          [](long a, long b) { return a + b; });
+  EXPECT_TRUE(empty.empty());
+
+  std::vector<long> one{42};
+  parallel_inclusive_scan(pool, std::span<long>(one), 0L,
+                          [](long a, long b) { return a + b; });
+  EXPECT_EQ(one[0], 42);
+}
+
+TEST(ParallelScan, NonCommutativeAssociativeOp) {
+  // Affine map composition is associative but NOT commutative; the scan must
+  // respect order.  Exact arithmetic modulo 2^64.
+  ThreadPool pool(4);
+  Xoshiro256 rng(5);
+  std::vector<AffineMap<std::uint64_t>> maps(513);
+  for (auto& m : maps) m = {rng() | 1, rng()};
+  std::vector<AffineMap<std::uint64_t>> expected = maps;
+  for (std::size_t i = 1; i < expected.size(); ++i)
+    expected[i] = compose(expected[i - 1], maps[i]);
+
+  parallel_inclusive_scan(
+      pool, std::span<AffineMap<std::uint64_t>>(maps),
+      AffineMap<std::uint64_t>::identity(),
+      [](const AffineMap<std::uint64_t>& f, const AffineMap<std::uint64_t>& g) {
+        return compose(f, g);
+      });
+  for (std::size_t i = 0; i < maps.size(); ++i) {
+    EXPECT_EQ(maps[i].a, expected[i].a) << i;
+    EXPECT_EQ(maps[i].b, expected[i].b) << i;
+  }
+}
+
+TEST(AffineMap, ComposeAppliesInOrder) {
+  const AffineMap<long> f{2, 3};   // x -> 2x+3
+  const AffineMap<long> g{5, 7};   // x -> 5x+7
+  const AffineMap<long> fg = compose(f, g);  // g(f(x)) = 5(2x+3)+7 = 10x+22
+  EXPECT_EQ(fg.a, 10);
+  EXPECT_EQ(fg.b, 22);
+  EXPECT_EQ(fg(1), 32);
+  EXPECT_EQ(g(f(1)), 32);
+}
+
+class AffineRecurrenceSizes : public ::testing::TestWithParam<long> {};
+
+TEST_P(AffineRecurrenceSizes, ExactAgainstSequentialEvaluation) {
+  ThreadPool pool(4);
+  const long n = GetParam();
+  const std::uint64_t a = 0x9e3779b97f4a7c15ULL, b = 0x2545F4914F6CDD1DULL;
+  const std::uint64_t x0 = 7;
+  const auto terms = affine_recurrence_terms(pool, x0, a, b, n);
+  ASSERT_EQ(static_cast<long>(terms.size()), n);
+  std::uint64_t x = x0;
+  for (long i = 0; i < n; ++i) {
+    x = a * x + b;
+    ASSERT_EQ(terms[static_cast<std::size_t>(i)], x) << "term " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, AffineRecurrenceSizes,
+                         ::testing::Values(0L, 1L, 2L, 3L, 7L, 64L, 1000L, 4097L));
+
+TEST(AffineRecurrence, VaryingCoefficients) {
+  ThreadPool pool(4);
+  Xoshiro256 rng(99);
+  const long n = 777;
+  std::vector<AffineMap<std::uint64_t>> steps(static_cast<std::size_t>(n));
+  for (auto& s : steps) s = {rng(), rng()};
+  const auto steps_copy = steps;
+  const auto terms = affine_recurrence_terms<std::uint64_t>(pool, 13, std::move(steps));
+  std::uint64_t x = 13;
+  for (long i = 0; i < n; ++i) {
+    x = steps_copy[static_cast<std::size_t>(i)](x);
+    ASSERT_EQ(terms[static_cast<std::size_t>(i)], x);
+  }
+}
+
+TEST(AffineRecurrence, MorePoolWorkersThanElements) {
+  ThreadPool pool(16);
+  const auto terms = affine_recurrence_terms<std::uint64_t>(pool, 1, 3, 1, 5);
+  // x: 1 -> 4 -> 13 -> 40 -> 121 -> 364
+  const std::vector<std::uint64_t> expected{4, 13, 40, 121, 364};
+  EXPECT_EQ(terms, expected);
+}
+
+}  // namespace
+}  // namespace wlp

@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include "wlp/core/shadow.hpp"
+#include "wlp/sched/doall.hpp"
+#include "wlp/support/prng.hpp"
+
+namespace wlp {
+namespace {
+
+constexpr long kBig = 1L << 40;  // trip filter that keeps every mark
+
+// --- the paper's Figure 5 loops ---------------------------------------------
+
+TEST(PDShadow, Fig5a_ReadThenWriteSameIterationIsParallel) {
+  // do i: A[i] = 2*A[i]  — loop-independent dependence only.
+  PDShadow shadow(100);
+  PDAccessor acc(shadow, 100);
+  for (long i = 0; i < 100; ++i) {
+    acc.begin_iteration(i);
+    acc.on_read(static_cast<std::size_t>(i));   // exposed (read before write)
+    acc.on_write(static_cast<std::size_t>(i));
+  }
+  const PDVerdict v = shadow.analyze_seq(kBig);
+  EXPECT_EQ(v.conflicts, 0);
+  EXPECT_EQ(v.multi_written, 0);
+  EXPECT_TRUE(v.fully_parallel());
+}
+
+TEST(PDShadow, Fig5b_PrivatizableTemporary) {
+  // tmp = A[2i]; A[2i] = A[2i-1]; A[2i-1] = tmp — with tmp as a shared
+  // location (slot 0): written then read each iteration -> reads are NOT
+  // exposed, but the slot is written by many iterations (output deps).
+  PDShadow shadow(1);
+  PDAccessor acc(shadow, 1);
+  for (long i = 0; i < 50; ++i) {
+    acc.begin_iteration(i);
+    acc.on_write(0);  // tmp = ...
+    acc.on_read(0);   // ... = tmp  (covered by the same-iteration write)
+  }
+  const PDVerdict v = shadow.analyze_seq(kBig);
+  EXPECT_EQ(v.conflicts, 0);
+  EXPECT_EQ(v.multi_written, 1);
+  EXPECT_FALSE(v.fully_parallel());
+  EXPECT_TRUE(v.parallel_with_privatization());
+}
+
+TEST(PDShadow, Fig5c_CrossIterationFlowFails) {
+  // A[i] = A[i] + A[i-1]: iteration i exposed-reads A[i-1], written by i-1.
+  PDShadow shadow(100);
+  PDAccessor acc(shadow, 100);
+  for (long i = 1; i < 100; ++i) {
+    acc.begin_iteration(i);
+    acc.on_read(static_cast<std::size_t>(i));
+    acc.on_read(static_cast<std::size_t>(i - 1));
+    acc.on_write(static_cast<std::size_t>(i));
+  }
+  const PDVerdict v = shadow.analyze_seq(kBig);
+  EXPECT_GT(v.conflicts, 0);
+  EXPECT_FALSE(v.parallel_with_privatization());
+}
+
+// --- overshoot filtering (the WHILE-loop extension) -------------------------
+
+TEST(PDShadow, MarksFromOvershotIterationsAreIgnored) {
+  PDShadow shadow(10);
+  PDAccessor acc(shadow, 10);
+  // Valid region (iter < 5): element 0 written once by iteration 2.
+  acc.begin_iteration(2);
+  acc.on_write(0);
+  // Overshoot: iteration 7 exposed-reads and re-writes element 0 — would be
+  // both a flow and an output dependence if it counted.
+  acc.begin_iteration(7);
+  acc.on_read(0);
+  acc.on_write(0);
+
+  const PDVerdict full = shadow.analyze_seq(kBig);
+  EXPECT_GT(full.conflicts, 0);
+
+  const PDVerdict filtered = shadow.analyze_seq(5);
+  EXPECT_EQ(filtered.conflicts, 0);
+  EXPECT_EQ(filtered.multi_written, 0);
+  EXPECT_EQ(filtered.written_elements, 1);
+  EXPECT_TRUE(filtered.fully_parallel());
+}
+
+TEST(PDShadow, TwoSmallestWritersSurviveFiltering) {
+  PDShadow shadow(1);
+  shadow.mark_write(9, 0);
+  shadow.mark_write(4, 0);
+  shadow.mark_write(6, 0);
+  shadow.mark_write(2, 0);
+  EXPECT_EQ(shadow.first_writer(0), 2);
+  EXPECT_EQ(shadow.second_writer(0), 4);
+  // trip = 5: writers {2, 4} -> output dependence among valid iterations.
+  EXPECT_EQ(shadow.analyze_seq(5).multi_written, 1);
+  // trip = 3: only writer 2 counts.
+  EXPECT_EQ(shadow.analyze_seq(3).multi_written, 0);
+  EXPECT_EQ(shadow.analyze_seq(3).written_elements, 1);
+}
+
+TEST(PDShadow, ConflictNeedsDistinctIterations) {
+  PDShadow shadow(1);
+  // Writer 3, exposed reader 3 (same iteration), another reader 8 (overshot).
+  shadow.mark_write(3, 0);
+  shadow.mark_exposed_read(3, 0);
+  shadow.mark_exposed_read(8, 0);
+  EXPECT_EQ(shadow.analyze_seq(5).conflicts, 0);  // reader 8 filtered
+  EXPECT_GT(shadow.analyze_seq(9).conflicts, 0);  // reader 8 counts: 8 != 3
+}
+
+TEST(PDShadow, TwoReadersOneWriterConflicts) {
+  PDShadow shadow(1);
+  shadow.mark_write(3, 0);
+  shadow.mark_exposed_read(3, 0);
+  shadow.mark_exposed_read(4, 0);
+  EXPECT_GT(shadow.analyze_seq(kBig).conflicts, 0);
+}
+
+TEST(PDShadow, DuplicateMarksFromOneIterationCollapse) {
+  PDShadow shadow(1);
+  for (int k = 0; k < 10; ++k) shadow.mark_write(5, 0);
+  EXPECT_EQ(shadow.first_writer(0), 5);
+  EXPECT_EQ(shadow.second_writer(0), -1);
+  EXPECT_EQ(shadow.analyze_seq(kBig).multi_written, 0);
+}
+
+TEST(PDShadow, ResetClearsEverything) {
+  PDShadow shadow(4);
+  shadow.mark_write(1, 2);
+  shadow.mark_exposed_read(3, 2);
+  shadow.reset();
+  EXPECT_EQ(shadow.first_writer(2), -1);
+  EXPECT_EQ(shadow.first_exposed_reader(2), -1);
+  EXPECT_EQ(shadow.analyze_seq(kBig).written_elements, 0);
+}
+
+TEST(PDShadow, ParallelAnalysisMatchesSequential) {
+  ThreadPool pool(4);
+  PDShadow shadow(5000);
+  Xoshiro256 rng(31);
+  for (int k = 0; k < 20000; ++k) {
+    const auto idx = static_cast<std::size_t>(rng.below(5000));
+    const long iter = static_cast<long>(rng.below(1000));
+    if (rng.chance(0.5))
+      shadow.mark_write(iter, idx);
+    else
+      shadow.mark_exposed_read(iter, idx);
+  }
+  for (long trip : {0L, 100L, 500L, 1000L}) {
+    const PDVerdict s = shadow.analyze_seq(trip);
+    const PDVerdict p = shadow.analyze(pool, trip);
+    EXPECT_EQ(s.written_elements, p.written_elements);
+    EXPECT_EQ(s.multi_written, p.multi_written);
+    EXPECT_EQ(s.exposed_read_elements, p.exposed_read_elements);
+    EXPECT_EQ(s.conflicts, p.conflicts);
+  }
+}
+
+TEST(PDShadow, ConcurrentMarkingKeepsTwoSmallest) {
+  ThreadPool pool(8);
+  PDShadow shadow(1);
+  doall(pool, 0, 1000, [&](long i, unsigned) { shadow.mark_write(i, 0); });
+  EXPECT_EQ(shadow.first_writer(0), 0);
+  EXPECT_EQ(shadow.second_writer(0), 1);
+}
+
+TEST(PDAccessor, ExposureResetsPerIteration) {
+  PDShadow shadow(2);
+  PDAccessor acc(shadow, 2);
+  acc.begin_iteration(0);
+  acc.on_write(1);
+  acc.on_read(1);  // covered
+  acc.begin_iteration(1);
+  acc.on_read(1);  // exposed: iteration 1 did not write slot 1 yet
+  EXPECT_EQ(shadow.first_exposed_reader(1), 1);
+}
+
+}  // namespace
+}  // namespace wlp

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "wlp/analysis/plan.hpp"
+
+namespace wlp::ir {
+namespace {
+
+TEST(Plan, Fig1bListTraversalIsGeneralRI) {
+  // while (p != null) { WORK(p); p = next(p) }
+  Loop loop;
+  loop.name = "fig1b";
+  loop.max_iters = 100;
+  loop.body.push_back(exit_if(bin('=', scalar("p"), cnst(0))));
+  loop.body.push_back(assign_array("A", index(), call("work", scalar("p"))));
+  loop.body.push_back(assign_scalar("p", call("next", scalar("p"))));
+
+  const ParallelPlan plan = make_plan(loop);
+  EXPECT_EQ(plan.dispatcher, wlp::DispatcherKind::kGeneral);
+  EXPECT_EQ(plan.terminator, wlp::TerminatorClass::kRemainderInvariant);
+  EXPECT_FALSE(plan.may_overshoot);  // Table 1: general x RI
+  // One General-3 step for the traversal, one DOALL step for the work.
+  ASSERT_EQ(plan.steps.size(), 2u);
+  EXPECT_EQ(plan.steps[0].method, wlp::Method::kGeneral3);
+  EXPECT_EQ(plan.steps[1].method, wlp::Method::kInduction2);
+  EXPECT_FALSE(plan.steps[1].needs_undo);
+}
+
+TEST(Plan, Fig1eAssociativeRI) {
+  // while (f(r) < V) { WORK(r); r = a*r + b }
+  Loop loop;
+  loop.name = "fig1e";
+  loop.max_iters = 100;
+  loop.body.push_back(exit_if(bin('G', call("f", scalar("r")), scalar("V"))));
+  loop.body.push_back(assign_array("A", index(), bin('*', scalar("r"), cnst(2))));
+  loop.body.push_back(
+      assign_scalar("r", bin('+', bin('*', cnst(3), scalar("r")), cnst(1))));
+
+  const ParallelPlan plan = make_plan(loop);
+  EXPECT_EQ(plan.dispatcher, wlp::DispatcherKind::kAssociative);
+  EXPECT_EQ(plan.terminator, wlp::TerminatorClass::kRemainderInvariant);
+  EXPECT_FALSE(plan.may_overshoot);
+  EXPECT_EQ(plan.steps[0].method, wlp::Method::kAssocPrefix);
+}
+
+TEST(Plan, TrackShapedLoopIsInductionRVWithUndo) {
+  // do i: { exit-if E[i] > 10 ; E[i] = f(i) ; A[i] = 2i }
+  // (exit reads an array the loop writes -> RV, implicit counter -> induction)
+  Loop loop;
+  loop.name = "track";
+  loop.max_iters = 100;
+  loop.body.push_back(exit_if(bin('>', array("E", index()), cnst(10))));
+  loop.body.push_back(assign_array("E", index(), call("f", index())));
+  loop.body.push_back(assign_array("A", index(), bin('*', index(), cnst(2))));
+
+  const ParallelPlan plan = make_plan(loop);
+  EXPECT_EQ(plan.dispatcher, wlp::DispatcherKind::kMonotonicInduction);
+  EXPECT_EQ(plan.terminator, wlp::TerminatorClass::kRemainderVariant);
+  EXPECT_TRUE(plan.may_overshoot);
+  const bool any_undo =
+      std::any_of(plan.steps.begin(), plan.steps.end(),
+                  [](const PlanStep& s) { return s.needs_undo; });
+  EXPECT_TRUE(any_undo);
+}
+
+TEST(Plan, SubscriptedSubscriptGoesSpeculative) {
+  Loop loop;
+  loop.name = "indirect";
+  loop.max_iters = 100;
+  loop.body.push_back(assign_array("A", array("B", index()), index()));
+
+  const ParallelPlan plan = make_plan(loop);
+  ASSERT_EQ(plan.pd_arrays.size(), 1u);
+  EXPECT_EQ(plan.pd_arrays[0], "A");
+  ASSERT_EQ(plan.steps.size(), 1u);
+  EXPECT_TRUE(plan.steps[0].speculative);
+  EXPECT_TRUE(plan.steps[0].needs_undo);
+}
+
+TEST(Plan, PrivatizedScalarsReported) {
+  // tmp defined then used each iteration: privatizable (Fig. 5(b)).
+  Loop loop;
+  loop.max_iters = 100;
+  loop.body.push_back(assign_scalar("tmp", array("R", index())));
+  loop.body.push_back(assign_array("A", index(), scalar("tmp")));
+  const ParallelPlan plan = make_plan(loop);
+  ASSERT_EQ(plan.privatized_scalars.size(), 1u);
+  EXPECT_EQ(plan.privatized_scalars[0], "tmp");
+}
+
+TEST(Plan, CostModelGateRejectsDispatcherBoundLoop) {
+  Loop loop;
+  loop.name = "chase-only";
+  loop.max_iters = 1000;
+  loop.body.push_back(assign_scalar("p", call("next", scalar("p"))));
+  // Nearly all time in the (sequential) recurrence.
+  const wlp::LoopTiming timing{10.0, 990.0};
+  const ParallelPlan plan = make_plan(loop, 8, &timing);
+  EXPECT_FALSE(plan.recommended);
+  EXPECT_LT(plan.predicted_speedup, 1.1);
+}
+
+TEST(Plan, CostModelGateAcceptsWorkRichLoop) {
+  Loop loop;
+  loop.name = "work-rich";
+  loop.max_iters = 1000;
+  loop.body.push_back(assign_scalar("p", call("next", scalar("p"))));
+  loop.body.push_back(assign_array("A", index(), call("work", scalar("p"))));
+  const wlp::LoopTiming timing{990.0, 10.0};
+  const ParallelPlan plan = make_plan(loop, 8, &timing);
+  EXPECT_TRUE(plan.recommended);
+  EXPECT_GT(plan.predicted_speedup, 3.0);
+}
+
+TEST(Plan, SequentialBlockGetsDoacross) {
+  Loop loop;
+  loop.max_iters = 50;
+  loop.body.push_back(assign_array(
+      "A", bin('+', index(), cnst(1)),
+      bin('+', array("A", index()), cnst(1))));
+  const ParallelPlan plan = make_plan(loop);
+  ASSERT_EQ(plan.steps.size(), 1u);
+  EXPECT_EQ(plan.steps[0].method, wlp::Method::kWuLewisDoacross);
+}
+
+TEST(Plan, TextRenderingMentionsKeyFacts) {
+  Loop loop;
+  loop.name = "fig1b";
+  loop.max_iters = 10;
+  loop.body.push_back(exit_if(bin('=', scalar("p"), cnst(0))));
+  loop.body.push_back(assign_scalar("p", call("next", scalar("p"))));
+  const ParallelPlan plan = make_plan(loop);
+  const std::string text = plan.to_text(loop);
+  EXPECT_NE(text.find("fig1b"), std::string::npos);
+  EXPECT_NE(text.find("general-recurrence"), std::string::npos);
+  EXPECT_NE(text.find("RI"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wlp::ir

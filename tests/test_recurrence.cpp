@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "wlp/analysis/distribute.hpp"
+
+namespace wlp::ir {
+namespace {
+
+/// Classify the component containing statement 0 of a single-statement loop.
+RecurrenceInfo classify_single(Loop& loop) {
+  const DepGraph g = build_dep_graph(loop);
+  const auto sccs = strongly_connected_components(g);
+  for (const auto& comp : sccs)
+    if (std::find(comp.begin(), comp.end(), 0) != comp.end())
+      return classify_component(loop, g, comp);
+  return {};
+}
+
+TEST(Recurrence, InductionPlusConstant) {
+  Loop loop;
+  loop.max_iters = 10;
+  loop.body.push_back(assign_scalar("k", bin('+', scalar("k"), cnst(2))));
+  const RecurrenceInfo r = classify_single(loop);
+  EXPECT_EQ(r.kind, BlockKind::kInduction);
+  EXPECT_EQ(r.var, "k");
+  EXPECT_EQ(r.add, 2.0);
+  EXPECT_EQ(dispatcher_kind(r), wlp::DispatcherKind::kMonotonicInduction);
+}
+
+TEST(Recurrence, InductionMinusConstant) {
+  Loop loop;
+  loop.max_iters = 10;
+  loop.body.push_back(assign_scalar("k", bin('-', scalar("k"), cnst(1))));
+  const RecurrenceInfo r = classify_single(loop);
+  EXPECT_EQ(r.kind, BlockKind::kInduction);
+  EXPECT_EQ(r.add, -1.0);
+}
+
+TEST(Recurrence, AffineIsAssociative) {
+  Loop loop;
+  loop.max_iters = 10;
+  loop.body.push_back(assign_scalar(
+      "r", bin('+', bin('*', cnst(3), scalar("r")), cnst(7))));
+  const RecurrenceInfo r = classify_single(loop);
+  EXPECT_EQ(r.kind, BlockKind::kAssociative);
+  EXPECT_EQ(r.mul, 3.0);
+  EXPECT_EQ(r.add, 7.0);
+  EXPECT_EQ(dispatcher_kind(r), wlp::DispatcherKind::kAssociative);
+}
+
+TEST(Recurrence, PointerChaseIsGeneral) {
+  Loop loop;
+  loop.max_iters = 10;
+  loop.body.push_back(assign_scalar("p", call("next", scalar("p"))));
+  const RecurrenceInfo r = classify_single(loop);
+  EXPECT_EQ(r.kind, BlockKind::kGeneralRecurrence);
+  EXPECT_EQ(r.call_name, "next");
+  EXPECT_EQ(dispatcher_kind(r), wlp::DispatcherKind::kGeneral);
+}
+
+TEST(Recurrence, NonLinearSelfUpdateIsSequential) {
+  // x = x * x is a recurrence but neither induction nor affine nor a call.
+  Loop loop;
+  loop.max_iters = 10;
+  loop.body.push_back(assign_scalar("x", bin('*', scalar("x"), scalar("x"))));
+  EXPECT_EQ(classify_single(loop).kind, BlockKind::kSequential);
+}
+
+TEST(Recurrence, IndependentStatementIsParallel) {
+  Loop loop;
+  loop.max_iters = 10;
+  loop.body.push_back(assign_array("A", index(), bin('*', index(), cnst(2))));
+  EXPECT_EQ(classify_single(loop).kind, BlockKind::kParallel);
+}
+
+TEST(Recurrence, CarriedArrayCycleIsSequential) {
+  Loop loop;
+  loop.max_iters = 10;
+  loop.body.push_back(assign_array(
+      "A", index(), bin('+', array("A", bin('-', index(), cnst(1))), cnst(1))));
+  EXPECT_EQ(classify_single(loop).kind, BlockKind::kSequential);
+}
+
+TEST(Recurrence, UnknownAccessWins) {
+  Loop loop;
+  loop.max_iters = 10;
+  loop.body.push_back(assign_array("A", array("B", index()), index()));
+  EXPECT_EQ(classify_single(loop).kind, BlockKind::kUnknownAccess);
+}
+
+TEST(Recurrence, ExitStronglyConnectedToDispatcherIsFlagged) {
+  Loop loop;
+  loop.max_iters = 10;
+  loop.body.push_back(exit_if(bin('>', scalar("p"), cnst(0))));
+  loop.body.push_back(assign_scalar("p", call("next", scalar("p"))));
+  const DepGraph g = build_dep_graph(loop);
+  const auto sccs = strongly_connected_components(g);
+  ASSERT_EQ(sccs.size(), 1u);  // exit + recurrence: one component
+  const RecurrenceInfo r = classify_component(loop, g, sccs[0]);
+  EXPECT_EQ(r.kind, BlockKind::kGeneralRecurrence);
+  EXPECT_TRUE(r.contains_exit);
+}
+
+}  // namespace
+}  // namespace wlp::ir

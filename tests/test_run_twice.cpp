@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "wlp/core/run_twice.hpp"
+
+namespace wlp {
+namespace {
+
+TEST(RunTwice, SecondPassRunsExactlyTheValidRange) {
+  ThreadPool pool(4);
+  const long u = 10000, exit_at = 6400;
+  std::vector<std::atomic<int>> hit(u);
+  const RunTwiceReport r = run_twice_while(
+      pool, u,
+      [&](long i, unsigned) {
+        return i >= exit_at ? IterAction::kExit : IterAction::kContinue;
+      },
+      [&](long i, unsigned) { hit[static_cast<std::size_t>(i)].fetch_add(1); });
+  EXPECT_EQ(r.exec.trip, exit_at);
+  EXPECT_EQ(r.exec.overshot, 0);
+  EXPECT_FALSE(r.exec.used_stamps);
+  for (long i = 0; i < u; ++i)
+    EXPECT_EQ(hit[static_cast<std::size_t>(i)].load(), i < exit_at ? 1 : 0) << i;
+}
+
+TEST(RunTwice, NoExitRunsWholeRangeOnce) {
+  ThreadPool pool(4);
+  std::atomic<long> work{0};
+  const RunTwiceReport r = run_twice_while(
+      pool, 500, [](long, unsigned) { return IterAction::kContinue; },
+      [&](long, unsigned) { work.fetch_add(1); });
+  EXPECT_EQ(r.exec.trip, 500);
+  EXPECT_EQ(work.load(), 500);
+}
+
+TEST(RunTwiceSpeculative, PDTestOnExactRange) {
+  ThreadPool pool(4);
+  const long u = 4000, exit_at = 2500;
+  SpecArray<double> arr(std::vector<double>(static_cast<std::size_t>(u), -1.0),
+                        pool.size(), true);
+  SpecTarget* targets[] = {&arr};
+
+  const RunTwiceReport r = run_twice_speculative(
+      pool, u,
+      [&](long i, unsigned) {
+        return i >= exit_at ? IterAction::kExit : IterAction::kContinue;
+      },
+      std::span<SpecTarget* const>(targets, 1),
+      [&](long i, unsigned vpn) {
+        arr.begin_iteration(vpn, i);
+        arr.set(vpn, i, static_cast<std::size_t>((i * 31) % u), 1.0);
+      },
+      [&](long trip) {
+        for (long i = 0; i < trip; ++i)
+          arr.data()[static_cast<std::size_t>((i * 31) % u)] = 1.0;
+      });
+
+  EXPECT_EQ(r.exec.trip, exit_at);
+  EXPECT_TRUE(r.exec.pd_tested);
+  EXPECT_TRUE(r.exec.pd_passed);
+  std::vector<double> expect(static_cast<std::size_t>(u), -1.0);
+  for (long i = 0; i < exit_at; ++i)
+    expect[static_cast<std::size_t>((i * 31) % u)] = 1.0;
+  EXPECT_EQ(arr.data(), expect);
+}
+
+TEST(RunTwiceSpeculative, DependentPass2FallsBack) {
+  ThreadPool pool(4);
+  const long u = 300;
+  SpecArray<double> arr(std::vector<double>(static_cast<std::size_t>(u), 0.0),
+                        pool.size(), true);
+  SpecTarget* targets[] = {&arr};
+
+  const RunTwiceReport r = run_twice_speculative(
+      pool, u, [](long, unsigned) { return IterAction::kContinue; },
+      std::span<SpecTarget* const>(targets, 1),
+      [&](long i, unsigned vpn) {
+        arr.begin_iteration(vpn, i);
+        if (i > 0) {
+          const double prev = arr.get(vpn, static_cast<std::size_t>(i - 1));
+          arr.set(vpn, i, static_cast<std::size_t>(i), prev + 1.0);
+        }
+      },
+      [&](long trip) {
+        auto& d = arr.data();
+        for (long i = 1; i < trip; ++i)
+          d[static_cast<std::size_t>(i)] = d[static_cast<std::size_t>(i - 1)] + 1.0;
+      });
+
+  EXPECT_FALSE(r.exec.pd_passed);
+  EXPECT_TRUE(r.exec.reexecuted_sequentially);
+  for (long i = 0; i < u; ++i)
+    EXPECT_EQ(arr.data()[static_cast<std::size_t>(i)], static_cast<double>(i));
+}
+
+}  // namespace
+}  // namespace wlp

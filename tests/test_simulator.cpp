@@ -1,0 +1,264 @@
+#include <gtest/gtest.h>
+
+#include "wlp/sim/simulator.hpp"
+#include "wlp/support/prng.hpp"
+
+namespace wlp::sim {
+namespace {
+
+LoopProfile uniform_profile(long n, double work, long trip = -1) {
+  LoopProfile lp;
+  lp.u = n;
+  lp.trip = trip < 0 ? n : trip;
+  lp.work.assign(static_cast<std::size_t>(n), work);
+  lp.next_cost = 1.0;
+  return lp;
+}
+
+const std::vector<int> kPs{1, 2, 4, 8};
+
+TEST(Simulator, SequentialTimeComposition) {
+  Simulator sim;
+  const LoopProfile lp = uniform_profile(100, 5.0);
+  const MachineModel& m = sim.machine();
+  EXPECT_NEAR(sim.sequential_time(lp),
+              100 * 5.0 + 100 * (m.t_next + m.t_term) + m.t_term, 1e-9);
+}
+
+TEST(Simulator, OneProcessorNeverBeatsSequential) {
+  Simulator sim;
+  const LoopProfile lp = uniform_profile(500, 8.0);
+  for (auto method :
+       {wlp::Method::kInduction1, wlp::Method::kInduction2, wlp::Method::kGeneral1,
+        wlp::Method::kGeneral2, wlp::Method::kGeneral3,
+        wlp::Method::kWuLewisDistribute, wlp::Method::kWuLewisDoacross}) {
+    const SimResult r = sim.run(method, lp, 1);
+    EXPECT_LE(r.speedup, 1.05) << wlp::to_string(method);
+    EXPECT_GT(r.speedup, 0.3) << wlp::to_string(method);
+  }
+}
+
+TEST(Simulator, SpeedupsMonotonicInPForWorkRichLoop) {
+  Simulator sim;
+  const LoopProfile lp = uniform_profile(2000, 20.0);
+  for (auto method : {wlp::Method::kInduction2, wlp::Method::kGeneral2,
+                      wlp::Method::kGeneral3}) {
+    const auto curve = sim.speedup_curve(method, lp, kPs);
+    for (std::size_t k = 1; k < curve.size(); ++k)
+      EXPECT_GE(curve[k], curve[k - 1] * 0.98) << wlp::to_string(method) << " p-step " << k;
+  }
+}
+
+TEST(Simulator, SpeedupNeverExceedsP) {
+  Simulator sim;
+  const LoopProfile lp = uniform_profile(1000, 10.0);
+  for (auto method : {wlp::Method::kInduction2, wlp::Method::kGeneral1,
+                      wlp::Method::kGeneral2, wlp::Method::kGeneral3}) {
+    for (int p : kPs) {
+      const SimResult r = sim.run(method, lp, static_cast<unsigned>(p));
+      EXPECT_LE(r.speedup, p * 1.001) << wlp::to_string(method) << " p=" << p;
+    }
+  }
+}
+
+TEST(Simulator, General3RespectsTraversalAmdahlBound) {
+  // The traversal is sequential per processor: time >= u * t_next, so
+  // speedup <= Tseq / (u * t_next).
+  Simulator sim;
+  const LoopProfile lp = uniform_profile(1000, 3.0);
+  const double bound =
+      sim.sequential_time(lp) / (1000 * lp.next_cost * sim.machine().t_next);
+  const SimResult r = sim.run(wlp::Method::kGeneral3, lp, 64);
+  EXPECT_LE(r.speedup, bound * 1.001);
+}
+
+TEST(Simulator, LockSerializationCapsGeneral1) {
+  Simulator sim;
+  const LoopProfile lp = uniform_profile(2000, 6.0);
+  // General-1's serialized section is t_lock + t_next per iteration.
+  const double cap = sim.sequential_time(lp) /
+                     (2000 * (sim.machine().t_lock + sim.machine().t_next));
+  const SimResult r = sim.run(wlp::Method::kGeneral1, lp, 32);
+  EXPECT_LE(r.speedup, cap * 1.01);
+  // And General-3 must beat General-1 once the lock saturates.
+  const SimResult g3 = sim.run(wlp::Method::kGeneral3, lp, 32);
+  EXPECT_GT(g3.speedup, r.speedup);
+}
+
+TEST(Simulator, QuitCutsOvershootVersusInduction1) {
+  Simulator sim;
+  LoopProfile lp = uniform_profile(10000, 5.0, /*trip=*/1000);
+  lp.overshoot_does_work = true;
+  const SimResult i1 = sim.run(wlp::Method::kInduction1, lp, 8);
+  const SimResult i2 = sim.run(wlp::Method::kInduction2, lp, 8);
+  EXPECT_EQ(i1.executed, 10000);
+  EXPECT_LT(i2.executed, 1200);
+  EXPECT_GT(i2.speedup, i1.speedup);
+}
+
+TEST(Simulator, CheckpointAndStampOverheadsReduceSpeedup) {
+  Simulator sim;
+  LoopProfile lp = uniform_profile(3000, 8.0, 2800);
+  lp.writes_per_iter = 4;
+  lp.state_words = 12000;
+  SimOptions with;
+  with.stamps = true;
+  with.checkpoint = true;
+  const SimResult bare = sim.run(wlp::Method::kInduction2, lp, 8);
+  const SimResult loaded = sim.run(wlp::Method::kInduction2, lp, 8, with);
+  EXPECT_GT(loaded.t_before, 0.0);
+  EXPECT_LT(loaded.speedup, bare.speedup);
+}
+
+TEST(Simulator, PDTestAddsAnalysisTime) {
+  Simulator sim;
+  LoopProfile lp = uniform_profile(3000, 8.0);
+  lp.reads_per_iter = 2;
+  lp.writes_per_iter = 2;
+  lp.shadow_cells = 3000;
+  SimOptions pd;
+  pd.pd_test = true;
+  const SimResult without = sim.run(wlp::Method::kInduction2, lp, 8);
+  const SimResult with = sim.run(wlp::Method::kInduction2, lp, 8, pd);
+  EXPECT_GT(with.t_after, without.t_after);
+  EXPECT_LT(with.speedup, without.speedup);
+}
+
+TEST(Simulator, StripMiningPaysBarriersButBoundsOvershoot) {
+  Simulator sim;
+  LoopProfile lp = uniform_profile(8000, 5.0, 4000);
+  lp.overshoot_does_work = true;
+  SimOptions strips;
+  strips.strip = 256;
+  const SimResult sm = sim.run(wlp::Method::kStripMined, lp, 8, strips);
+  EXPECT_LE(sm.overshot, 256);
+  const SimResult i2 = sim.run(wlp::Method::kInduction2, lp, 8);
+  // Many barriers: strip-mining should be slower here.
+  EXPECT_LE(sm.speedup, i2.speedup * 1.05);
+}
+
+TEST(Simulator, SlidingWindowNearInduction2ForLargeWindow) {
+  Simulator sim;
+  const LoopProfile lp = uniform_profile(4000, 6.0, 3500);
+  SimOptions w;
+  w.window = 1 << 20;
+  const SimResult sw = sim.run(wlp::Method::kSlidingWindow, lp, 8, w);
+  const SimResult i2 = sim.run(wlp::Method::kInduction2, lp, 8);
+  EXPECT_NEAR(sw.speedup, i2.speedup, 0.25);
+}
+
+TEST(Simulator, SlidingWindowOfOneSerializes) {
+  Simulator sim;
+  const LoopProfile lp = uniform_profile(1000, 6.0);
+  SimOptions w;
+  w.window = 1;
+  const SimResult sw = sim.run(wlp::Method::kSlidingWindow, lp, 8, w);
+  EXPECT_LT(sw.speedup, 1.2);
+}
+
+TEST(Simulator, DoacrossNeverOvershoots) {
+  Simulator sim;
+  LoopProfile lp = uniform_profile(2000, 10.0, 1500);
+  lp.overshoot_does_work = true;
+  const SimResult r = sim.run(wlp::Method::kWuLewisDoacross, lp, 8);
+  EXPECT_EQ(r.overshot, 0);
+  EXPECT_EQ(r.executed, 1500);
+}
+
+TEST(Simulator, DistributePrologueHurtsWhenWorkSmall) {
+  Simulator sim;
+  const LoopProfile lp = uniform_profile(3000, 1.0);  // work ~ next cost
+  const SimResult dist = sim.run(wlp::Method::kWuLewisDistribute, lp, 8);
+  const SimResult g3 = sim.run(wlp::Method::kGeneral3, lp, 8);
+  EXPECT_LT(dist.speedup, g3.speedup * 1.2);
+}
+
+TEST(Simulator, AssocPrefixBeatsSequentialDispatcherTreatment) {
+  Simulator sim;
+  LoopProfile lp = uniform_profile(20000, 2.0);
+  const SimResult prefix = sim.run(wlp::Method::kAssocPrefix, lp, 8);
+  const SimResult doacross = sim.run(wlp::Method::kWuLewisDoacross, lp, 8);
+  EXPECT_GT(prefix.speedup, doacross.speedup);
+}
+
+TEST(Simulator, ZeroProcessorsRejected) {
+  Simulator sim;
+  const LoopProfile lp = uniform_profile(10, 1.0);
+  EXPECT_THROW(sim.run(wlp::Method::kInduction2, lp, 0), std::invalid_argument);
+}
+
+TEST(Simulator, SingularExitDelaysTheQuit) {
+  // With a singular exit (TRACK-style planted error), only iteration trip
+  // reveals termination: processors past it keep running, so the overshoot
+  // is much larger than under a bound-style exit where every iteration
+  // >= trip observes the condition.
+  Simulator sim;
+  // Skewed work creates spread between processors; under a bound-style
+  // exit the first processor past the trip quits everyone, while under a
+  // singular exit everyone runs until the exact trip iteration completes
+  // on its (possibly slow) owner.
+  LoopProfile bound_style;
+  bound_style.u = 20000;
+  bound_style.trip = 10000;
+  bound_style.work.resize(20000);
+  wlp::Xoshiro256 rng(17);  // random heavy iterations -> per-processor spread
+  for (auto& w : bound_style.work) w = rng.chance(0.1) ? 40.0 : 2.0;
+  bound_style.next_cost = 1.0;
+  bound_style.overshoot_does_work = true;
+  LoopProfile singular = bound_style;
+  singular.singular_exit = true;
+
+  const SimResult b2 = sim.run(wlp::Method::kGeneral2, bound_style, 8);
+  const SimResult s2 = sim.run(wlp::Method::kGeneral2, singular, 8);
+  EXPECT_GT(s2.overshot, b2.overshot * 5);
+
+  const SimResult bi = sim.run(wlp::Method::kInduction2, bound_style, 8);
+  const SimResult si = sim.run(wlp::Method::kInduction2, singular, 8);
+  EXPECT_GE(si.overshot, bi.overshot);
+}
+
+TEST(Simulator, StaticCyclicSingularExitSpansWithVariableWork) {
+  // The Section 3.3 span argument: under a singular exit with skewed work,
+  // static assignment overshoots far more than dynamic.
+  Simulator sim;
+  LoopProfile lp;
+  lp.u = 20000;
+  lp.trip = 10000;
+  lp.work.resize(20000);
+  for (long i = 0; i < 20000; ++i)
+    lp.work[static_cast<std::size_t>(i)] = (i % 13 == 0) ? 40.0 : 2.0;
+  lp.next_cost = 1.0;
+  lp.overshoot_does_work = true;
+  lp.singular_exit = true;
+  const SimResult stat = sim.run(wlp::Method::kGeneral2, lp, 8);
+  const SimResult dyn = sim.run(wlp::Method::kGeneral3, lp, 8);
+  EXPECT_GT(stat.overshot, dyn.overshot * 3);
+}
+
+TEST(Simulator, SingularExitAtBoundIsNoop) {
+  // trip == u: the singular iteration never exists; nothing special happens.
+  Simulator sim;
+  LoopProfile lp = uniform_profile(1000, 4.0);
+  lp.singular_exit = true;
+  const SimResult r = sim.run(wlp::Method::kInduction2, lp, 8);
+  EXPECT_EQ(r.executed, 1000);
+  EXPECT_EQ(r.overshot, 0);
+}
+
+TEST(Simulator, VariableWorkFavorsDynamicOverStatic) {
+  // Heavily skewed work: static cyclic assignment load-imbalances.
+  Simulator sim;
+  LoopProfile lp;
+  lp.u = lp.trip = 4000;
+  lp.work.resize(4000);
+  for (long i = 0; i < 4000; ++i)
+    lp.work[static_cast<std::size_t>(i)] = (i % 8 == 0) ? 40.0 : 1.0;
+  lp.next_cost = 0.1;
+  const SimResult g2 = sim.run(wlp::Method::kGeneral2, lp, 8);
+  const SimResult g3 = sim.run(wlp::Method::kGeneral3, lp, 8);
+  // i % 8 == 0 lands on processor 0 under cyclic assignment: worst case.
+  EXPECT_GT(g3.speedup, g2.speedup * 1.5);
+}
+
+}  // namespace
+}  // namespace wlp::sim

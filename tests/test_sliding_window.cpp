@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "wlp/core/sliding_window.hpp"
+
+namespace wlp {
+namespace {
+
+TEST(SlidingWindow, CoversRangeAndRecoversTrip) {
+  ThreadPool pool(4);
+  const long u = 3000, exit_at = 2100;
+  std::vector<std::atomic<int>> hit(u);
+  WindowOptions opts;
+  opts.window = 32;
+  const WindowReport wr = sliding_window_while(
+      pool, u,
+      [&](long i, unsigned) {
+        hit[static_cast<std::size_t>(i)].fetch_add(1);
+        return i == exit_at ? IterAction::kExit : IterAction::kContinue;
+      },
+      opts);
+  EXPECT_EQ(wr.exec.method, Method::kSlidingWindow);
+  EXPECT_EQ(wr.exec.trip, exit_at);
+  for (long i = 0; i < exit_at; ++i)
+    ASSERT_EQ(hit[static_cast<std::size_t>(i)].load(), 1) << i;
+  for (long i = 0; i < u; ++i) ASSERT_LE(hit[static_cast<std::size_t>(i)].load(), 1);
+}
+
+TEST(SlidingWindow, SpanNeverExceedsWindow) {
+  ThreadPool pool(8);
+  WindowOptions opts;
+  opts.window = 16;
+  opts.max_window = 16;  // fixed window: the h - l <= w invariant is strict
+  const WindowReport wr = sliding_window_while(
+      pool, 5000, [](long, unsigned) { return IterAction::kContinue; }, opts);
+  EXPECT_EQ(wr.exec.trip, 5000);
+  EXPECT_LE(wr.max_span, 16);
+}
+
+TEST(SlidingWindow, BudgetShrinksWindow) {
+  ThreadPool pool(4);
+  WindowOptions opts;
+  opts.window = 1024;
+  opts.min_window = 2;
+  opts.bytes_per_iteration = 1024;   // each in-flight iteration pins 1 KiB
+  opts.memory_budget = 8 * 1024;     // only 8 iterations' worth allowed
+  const WindowReport wr = sliding_window_while(
+      pool, 2000, [](long, unsigned) { return IterAction::kContinue; }, opts);
+  EXPECT_EQ(wr.exec.trip, 2000);
+  // The controller must have pulled the window well below the initial 1024.
+  EXPECT_LT(wr.final_window, 64);
+  EXPECT_LE(wr.peak_stamp_bytes, opts.bytes_per_iteration * 1024);
+}
+
+TEST(SlidingWindow, BudgetGrowsWindowWhenComfortable) {
+  ThreadPool pool(4);
+  WindowOptions opts;
+  opts.window = 4;
+  opts.max_window = 4096;
+  opts.bytes_per_iteration = 1;   // practically free
+  opts.memory_budget = 1 << 20;
+  const WindowReport wr = sliding_window_while(
+      pool, 3000, [](long, unsigned) { return IterAction::kContinue; }, opts);
+  EXPECT_GT(wr.final_window, 4);
+}
+
+TEST(SlidingWindow, EmptyRange) {
+  ThreadPool pool(4);
+  const WindowReport wr = sliding_window_while(
+      pool, 0, [](long, unsigned) { return IterAction::kExit; }, {});
+  EXPECT_EQ(wr.exec.trip, 0);
+  EXPECT_EQ(wr.exec.started, 0);
+}
+
+TEST(SlidingWindow, WindowOfOneIsSequentialOrder) {
+  ThreadPool pool(4);
+  WindowOptions opts;
+  opts.window = 1;
+  opts.min_window = 1;
+  opts.max_window = 1;
+  std::vector<long> order;
+  const WindowReport wr = sliding_window_while(
+      pool, 200,
+      [&](long i, unsigned) {
+        order.push_back(i);  // window 1 fully serializes iterations
+        return IterAction::kContinue;
+      },
+      opts);
+  EXPECT_EQ(wr.exec.trip, 200);
+  ASSERT_EQ(order.size(), 200u);
+  for (long i = 0; i < 200; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  EXPECT_LE(wr.max_span, 1);
+}
+
+}  // namespace
+}  // namespace wlp

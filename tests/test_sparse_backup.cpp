@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "wlp/core/sparse_backup.hpp"
+#include "wlp/sched/doall.hpp"
+
+namespace wlp {
+namespace {
+
+TEST(HashBackup, UndoRestoresOvershotLocationsOnly) {
+  std::vector<double> data(100, 0.0);
+  HashBackup<double> backup(64);
+  // Iteration 3 writes idx 10; iteration 9 writes idx 20.
+  backup.record(3, 10, data[10]);
+  data[10] = 3.0;
+  backup.record(9, 20, data[20]);
+  data[20] = 9.0;
+
+  EXPECT_EQ(backup.undo_into(data, 5), 1);  // only iteration 9's write undone
+  EXPECT_EQ(data[10], 3.0);
+  EXPECT_EQ(data[20], 0.0);
+}
+
+TEST(HashBackup, FirstRecorderKeepsPreLoopValue) {
+  std::vector<double> data{42.0};
+  HashBackup<double> backup(16);
+  backup.record(2, 0, data[0]);
+  data[0] = 2.0;
+  backup.record(7, 0, data[0]);  // second writer records the CURRENT value,
+  data[0] = 7.0;                 // but the saved value stays the pre-loop one
+  EXPECT_EQ(backup.restore_all_into(data), 1);
+  EXPECT_EQ(data[0], 42.0);
+}
+
+TEST(HashBackup, StampIsMaxWriter) {
+  std::vector<double> data{0.0};
+  HashBackup<double> backup(16);
+  backup.record(9, 0, 0.0);
+  backup.record(3, 0, 0.0);
+  data[0] = 1.0;
+  // Max stamp is 9 >= trip 5: restored.
+  EXPECT_EQ(backup.undo_into(data, 5), 1);
+  EXPECT_EQ(data[0], 0.0);
+}
+
+TEST(HashBackup, MemoryProportionalToTouchedSet) {
+  HashBackup<double> backup(1024);
+  for (int i = 0; i < 100; ++i) backup.record(i, static_cast<std::size_t>(i * 7), 0.0);
+  EXPECT_EQ(backup.entries(), 100u);
+  const std::size_t bytes100 = backup.memory_bytes();
+  backup.record(200, 9999, 0.0);
+  // One more distinct location -> exactly one slot more of memory.
+  EXPECT_EQ(backup.memory_bytes(), bytes100 + bytes100 / 100);
+}
+
+TEST(HashBackup, CapacityExhaustionThrows) {
+  HashBackup<int> backup(16);  // rounds to 16 slots
+  bool threw = false;
+  try {
+    for (std::size_t i = 0; i < 64; ++i) backup.record(0, i, 0);
+  } catch (const std::runtime_error&) {
+    threw = true;
+  }
+  EXPECT_TRUE(threw);
+}
+
+TEST(HashBackup, ConcurrentRecordingIsConsistent) {
+  ThreadPool pool(4);
+  const long n = 5000;
+  std::vector<long> data(static_cast<std::size_t>(n));
+  for (long i = 0; i < n; ++i) data[static_cast<std::size_t>(i)] = i;
+  HashBackup<long> backup(16384);
+  doall(pool, 0, n, [&](long i, unsigned) {
+    backup.record(i, static_cast<std::size_t>(i), data[static_cast<std::size_t>(i)]);
+    data[static_cast<std::size_t>(i)] = -1;
+  });
+  EXPECT_EQ(backup.entries(), static_cast<std::size_t>(n));
+  EXPECT_EQ(backup.undo_into(data, 2500), n - 2500);
+  for (long i = 0; i < n; ++i)
+    EXPECT_EQ(data[static_cast<std::size_t>(i)], i < 2500 ? -1 : i) << i;
+}
+
+}  // namespace
+}  // namespace wlp

@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "wlp/workloads/hb_generator.hpp"
+#include "wlp/workloads/sparse_lu.hpp"
+#include <algorithm>
+#include "wlp/support/prng.hpp"
+
+namespace wlp::workloads {
+namespace {
+
+std::vector<double> random_rhs(std::int32_t n, std::uint64_t seed) {
+  wlp::Xoshiro256 rng(seed);
+  std::vector<double> b(static_cast<std::size_t>(n));
+  for (auto& v : b) v = rng.uniform(-1.0, 1.0);
+  return b;
+}
+
+TEST(MarkowitzLU, SolvesDenseLikeTinySystem) {
+  // [ 4 1 0 ] [x] = b
+  // [ 1 3 1 ]
+  // [ 0 1 5 ]
+  const SparseMatrix a = SparseMatrix::from_triplets(
+      3, 3,
+      {{0, 0, 4}, {0, 1, 1}, {1, 0, 1}, {1, 1, 3}, {1, 2, 1}, {2, 1, 1}, {2, 2, 5}});
+  MarkowitzLU lu(a);
+  ASSERT_TRUE(lu.factor());
+  const std::vector<double> b{1, 2, 3};
+  const std::vector<double> x = lu.solve(b);
+  EXPECT_LT(residual_inf_norm(a, x, b), 1e-12);
+}
+
+TEST(MarkowitzLU, IdentityIsTrivial) {
+  std::vector<Triplet> tri;
+  for (int i = 0; i < 10; ++i) tri.push_back({i, i, 1.0});
+  const SparseMatrix a = SparseMatrix::from_triplets(10, 10, std::move(tri));
+  MarkowitzLU lu(a);
+  ASSERT_TRUE(lu.factor());
+  EXPECT_EQ(lu.fill_in(), 0);
+  const std::vector<double> b = random_rhs(10, 3);
+  const std::vector<double> x = lu.solve(b);
+  for (int i = 0; i < 10; ++i)
+    EXPECT_DOUBLE_EQ(x[static_cast<std::size_t>(i)], b[static_cast<std::size_t>(i)]);
+}
+
+TEST(MarkowitzLU, StructurallySingularFails) {
+  // Row 1 is empty.
+  const SparseMatrix a =
+      SparseMatrix::from_triplets(3, 3, {{0, 0, 1}, {2, 2, 1}, {0, 1, 1}, {2, 1, 1}});
+  MarkowitzLU lu(a);
+  EXPECT_FALSE(lu.factor());
+}
+
+TEST(MarkowitzLU, RejectsNonSquare) {
+  const SparseMatrix a = SparseMatrix::from_triplets(2, 3, {{0, 0, 1}});
+  EXPECT_THROW(MarkowitzLU lu(a), std::invalid_argument);
+}
+
+TEST(MarkowitzLU, SolveBeforeFactorThrows) {
+  const SparseMatrix a = SparseMatrix::from_triplets(1, 1, {{0, 0, 1}});
+  MarkowitzLU lu(a);
+  EXPECT_THROW(lu.solve({1.0}), std::logic_error);
+}
+
+class LUOnGeneratedMatrices : public ::testing::TestWithParam<int> {};
+
+TEST_P(LUOnGeneratedMatrices, FactorsAndSolvesWithSmallResidual) {
+  SparseMatrix a;
+  switch (GetParam()) {
+    case 0: a = gen_grid7(6, 6, 4); break;             // n = 144
+    case 1: a = gen_grid7(10, 5, 3, 0.25, 2); break;   // anisotropic, n = 150
+    case 2: a = gen_power_flow(150, 900, 0.03, 11); break;
+    default: a = gen_power_flow(250, 1500, 0.02, 13); break;
+  }
+  MarkowitzLU lu(a);
+  ASSERT_TRUE(lu.factor());
+  const std::vector<double> b = random_rhs(a.rows(), 42 + GetParam());
+  const std::vector<double> x = lu.solve(b);
+  const double res = residual_inf_norm(a, x, b);
+  EXPECT_LT(res, 1e-8) << "n=" << a.rows() << " fill=" << lu.fill_in();
+  // Permutations must be genuine permutations.
+  std::vector<bool> seen_r(static_cast<std::size_t>(a.rows()), false);
+  std::vector<bool> seen_c(static_cast<std::size_t>(a.rows()), false);
+  for (std::int32_t k = 0; k < a.rows(); ++k) {
+    EXPECT_FALSE(seen_r[static_cast<std::size_t>(lu.perm_row()[static_cast<std::size_t>(k)])]);
+    EXPECT_FALSE(seen_c[static_cast<std::size_t>(lu.perm_col()[static_cast<std::size_t>(k)])]);
+    seen_r[static_cast<std::size_t>(lu.perm_row()[static_cast<std::size_t>(k)])] = true;
+    seen_c[static_cast<std::size_t>(lu.perm_col()[static_cast<std::size_t>(k)])] = true;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Matrices, LUOnGeneratedMatrices,
+                         ::testing::Values(0, 1, 2, 3));
+
+TEST(MarkowitzLU, FullyParallelPivotSearchMatchesSequentialFactors) {
+  // Every pivot chosen by the PARALLEL search must reproduce the sequential
+  // factorization exactly (permutations and residual).
+  ThreadPool pool(4);
+  const SparseMatrix a = gen_power_flow(90, 550, 0.04, 27);
+  MarkowitzLU seq(a);
+  ASSERT_TRUE(seq.factor());
+  MarkowitzLU par(a);
+  ASSERT_TRUE(par.factor_parallel(pool));
+  EXPECT_EQ(par.perm_row(), seq.perm_row());
+  EXPECT_EQ(par.perm_col(), seq.perm_col());
+  const std::vector<double> b = random_rhs(90, 5);
+  EXPECT_LT(residual_inf_norm(a, par.solve(b), b), 1e-8);
+}
+
+TEST(MarkowitzLU, ActiveSubmatrixMapsRoundTrip) {
+  const SparseMatrix a = gen_grid7(5, 5, 3);
+  MarkowitzLU lu(a);
+  ASSERT_TRUE(lu.factor_steps(20));
+  std::vector<std::int32_t> rmap, cmap;
+  const SparseMatrix act = lu.active_submatrix(&rmap, &cmap);
+  EXPECT_EQ(act.rows(), a.rows() - 20);
+  EXPECT_EQ(static_cast<std::int32_t>(rmap.size()), act.rows());
+  EXPECT_EQ(static_cast<std::int32_t>(cmap.size()), act.cols());
+  // Maps point at rows/cols not yet pivoted.
+  for (std::int32_t k = 0; k < lu.pivots_done(); ++k) {
+    EXPECT_EQ(std::find(rmap.begin(), rmap.end(),
+                        lu.perm_row()[static_cast<std::size_t>(k)]),
+              rmap.end());
+  }
+}
+
+TEST(MarkowitzLU, ThresholdInfluencesPivotChoice) {
+  // With u = 1.0 only the row max qualifies; with u ~ 0 sparsity rules.
+  const SparseMatrix a = gen_power_flow(120, 700, 0.05, 21);
+  MarkowitzLU strict(a, {1.0});
+  MarkowitzLU loose(a, {0.01});
+  ASSERT_TRUE(strict.factor());
+  ASSERT_TRUE(loose.factor());
+  // The loose threshold can only do as well or better on fill-in.
+  EXPECT_LE(loose.fill_in(), strict.fill_in());
+  const std::vector<double> b = random_rhs(120, 1);
+  EXPECT_LT(residual_inf_norm(a, strict.solve(b), b), 1e-8);
+  EXPECT_LT(residual_inf_norm(a, loose.solve(b), b), 1e-8);
+}
+
+}  // namespace
+}  // namespace wlp::workloads

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "wlp/workloads/sparse_matrix.hpp"
+
+namespace wlp::workloads {
+namespace {
+
+SparseMatrix small() {
+  // [ 2 0 1 ]
+  // [ 0 3 0 ]
+  // [ 4 0 5 ]
+  return SparseMatrix::from_triplets(
+      3, 3, {{0, 0, 2}, {0, 2, 1}, {1, 1, 3}, {2, 0, 4}, {2, 2, 5}});
+}
+
+TEST(SparseMatrix, BasicShapeAndLookup) {
+  const SparseMatrix m = small();
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_EQ(m.nnz(), 5);
+  EXPECT_EQ(m.at(0, 0), 2.0);
+  EXPECT_EQ(m.at(0, 1), 0.0);
+  EXPECT_EQ(m.at(2, 2), 5.0);
+  EXPECT_EQ(m.row_nnz(1), 1);
+  EXPECT_EQ(m.row_nnz(2), 2);
+}
+
+TEST(SparseMatrix, DuplicateTripletsAreSummed) {
+  const SparseMatrix m = SparseMatrix::from_triplets(
+      2, 2, {{0, 0, 1}, {0, 0, 2}, {1, 1, 5}, {0, 0, 3}});
+  EXPECT_EQ(m.nnz(), 2);
+  EXPECT_EQ(m.at(0, 0), 6.0);
+}
+
+TEST(SparseMatrix, OutOfRangeTripletThrows) {
+  EXPECT_THROW(SparseMatrix::from_triplets(2, 2, {{2, 0, 1}}), std::out_of_range);
+  EXPECT_THROW(SparseMatrix::from_triplets(2, 2, {{0, -1, 1}}), std::out_of_range);
+}
+
+TEST(SparseMatrix, RowSpansAreSortedByColumn) {
+  const SparseMatrix m = SparseMatrix::from_triplets(
+      1, 5, {{0, 3, 1}, {0, 0, 2}, {0, 4, 3}});
+  const auto cols = m.row_cols(0);
+  ASSERT_EQ(cols.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(cols.begin(), cols.end()));
+}
+
+TEST(SparseMatrix, Multiply) {
+  const SparseMatrix m = small();
+  const std::vector<double> x{1, 2, 3};
+  const std::vector<double> y = m.multiply(x);
+  EXPECT_EQ(y, (std::vector<double>{5, 6, 19}));
+}
+
+TEST(SparseMatrix, TransposeRoundTrip) {
+  const SparseMatrix m = small();
+  const SparseMatrix t = m.transpose();
+  EXPECT_EQ(t.at(0, 2), 4.0);
+  EXPECT_EQ(t.at(2, 0), 1.0);
+  const SparseMatrix tt = t.transpose();
+  for (int r = 0; r < 3; ++r)
+    for (int c = 0; c < 3; ++c) EXPECT_EQ(tt.at(r, c), m.at(r, c));
+}
+
+TEST(SparseMatrix, ColCountsMatchTransposeRowCounts) {
+  const SparseMatrix m = small();
+  const auto counts = m.col_counts();
+  const SparseMatrix t = m.transpose();
+  ASSERT_EQ(counts.size(), 3u);
+  for (int c = 0; c < 3; ++c)
+    EXPECT_EQ(counts[static_cast<std::size_t>(c)], t.row_nnz(c));
+}
+
+TEST(SparseMatrix, MaxAbsInRow) {
+  const SparseMatrix m = SparseMatrix::from_triplets(
+      1, 3, {{0, 0, -7}, {0, 1, 3}, {0, 2, 5}});
+  EXPECT_EQ(m.max_abs_in_row(0), 7.0);
+}
+
+TEST(SparseMatrix, TripletsRoundTrip) {
+  const SparseMatrix m = small();
+  const SparseMatrix m2 =
+      SparseMatrix::from_triplets(m.rows(), m.cols(), m.to_triplets());
+  EXPECT_EQ(m2.nnz(), m.nnz());
+  for (int r = 0; r < 3; ++r)
+    for (int c = 0; c < 3; ++c) EXPECT_EQ(m2.at(r, c), m.at(r, c));
+}
+
+TEST(SparseMatrix, ResidualNorm) {
+  const SparseMatrix m = small();
+  const std::vector<double> x{1, 2, 3};
+  std::vector<double> b = m.multiply(x);
+  EXPECT_EQ(residual_inf_norm(m, x, b), 0.0);
+  b[1] += 0.25;
+  EXPECT_DOUBLE_EQ(residual_inf_norm(m, x, b), 0.25);
+}
+
+TEST(SparseMatrix, EmptyRow) {
+  const SparseMatrix m = SparseMatrix::from_triplets(3, 3, {{0, 0, 1}, {2, 2, 1}});
+  EXPECT_EQ(m.row_nnz(1), 0);
+  EXPECT_TRUE(m.row_cols(1).empty());
+  EXPECT_EQ(m.max_abs_in_row(1), 0.0);
+}
+
+}  // namespace
+}  // namespace wlp::workloads

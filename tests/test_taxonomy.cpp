@@ -1,0 +1,57 @@
+#include <gtest/gtest.h>
+
+#include "wlp/core/taxonomy.hpp"
+
+namespace wlp {
+namespace {
+
+// Table 1, row RI:  monotonic-ind  non-mono-ind  associative  general
+//   Overshoot:      NO             YES           NO           NO
+//   Parallel:       YES            YES           YES-PP       NO
+// Table 1, row RV: overshoot YES everywhere; parallelism unchanged.
+
+TEST(Taxonomy, Table1RemainderInvariantRow) {
+  const auto ri = TerminatorClass::kRemainderInvariant;
+  EXPECT_FALSE(may_overshoot(DispatcherKind::kMonotonicInduction, ri));
+  EXPECT_TRUE(may_overshoot(DispatcherKind::kInduction, ri));
+  EXPECT_FALSE(may_overshoot(DispatcherKind::kAssociative, ri));
+  EXPECT_FALSE(may_overshoot(DispatcherKind::kGeneral, ri));
+}
+
+TEST(Taxonomy, Table1RemainderVariantRow) {
+  const auto rv = TerminatorClass::kRemainderVariant;
+  EXPECT_TRUE(may_overshoot(DispatcherKind::kMonotonicInduction, rv));
+  EXPECT_TRUE(may_overshoot(DispatcherKind::kInduction, rv));
+  EXPECT_TRUE(may_overshoot(DispatcherKind::kAssociative, rv));
+  EXPECT_TRUE(may_overshoot(DispatcherKind::kGeneral, rv));
+}
+
+TEST(Taxonomy, DispatcherParallelismColumn) {
+  EXPECT_EQ(dispatcher_parallelism(DispatcherKind::kMonotonicInduction),
+            DispatcherParallelism::kFull);
+  EXPECT_EQ(dispatcher_parallelism(DispatcherKind::kInduction),
+            DispatcherParallelism::kFull);
+  EXPECT_EQ(dispatcher_parallelism(DispatcherKind::kAssociative),
+            DispatcherParallelism::kPrefix);
+  EXPECT_EQ(dispatcher_parallelism(DispatcherKind::kGeneral),
+            DispatcherParallelism::kSequential);
+}
+
+TEST(Taxonomy, ParallelismIndependentOfTerminator) {
+  for (auto d : {DispatcherKind::kMonotonicInduction, DispatcherKind::kInduction,
+                 DispatcherKind::kAssociative, DispatcherKind::kGeneral}) {
+    EXPECT_EQ(classify(d, TerminatorClass::kRemainderInvariant).parallelism,
+              classify(d, TerminatorClass::kRemainderVariant).parallelism);
+  }
+}
+
+TEST(Taxonomy, StringsMatchPaperVocabulary) {
+  EXPECT_EQ(to_string(TerminatorClass::kRemainderInvariant), "RI");
+  EXPECT_EQ(to_string(TerminatorClass::kRemainderVariant), "RV");
+  EXPECT_EQ(to_string(DispatcherParallelism::kPrefix), "YES-PP");
+  EXPECT_EQ(to_string(DispatcherParallelism::kSequential), "NO");
+  EXPECT_EQ(to_string(DispatcherKind::kGeneral), "general-recurrence");
+}
+
+}  // namespace
+}  // namespace wlp

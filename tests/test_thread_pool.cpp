@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "wlp/sched/thread_pool.hpp"
+#include "wlp/support/cacheline.hpp"
+
+namespace wlp {
+namespace {
+
+TEST(ThreadPool, RunsEveryWorkerExactlyOnce) {
+  ThreadPool pool(6);
+  ASSERT_EQ(pool.size(), 6u);
+  std::vector<std::atomic<int>> hits(6);
+  pool.parallel([&](unsigned vpn) { hits[vpn].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, DefaultConcurrencyAtLeastFour) {
+  EXPECT_GE(ThreadPool::default_concurrency(), 4u);
+  ThreadPool pool;  // default
+  EXPECT_GE(pool.size(), 4u);
+}
+
+TEST(ThreadPool, ReusableAcrossManyGenerations) {
+  ThreadPool pool(4);
+  std::atomic<long> total{0};
+  for (int round = 0; round < 50; ++round)
+    pool.parallel([&](unsigned) { total.fetch_add(1); });
+  EXPECT_EQ(total.load(), 200);
+}
+
+TEST(ThreadPool, PropagatesWorkerException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel([](unsigned vpn) {
+        if (vpn == 2) throw std::runtime_error("boom");
+      }),
+      std::runtime_error);
+  // Pool must remain usable after the exception.
+  std::atomic<int> ran{0};
+  pool.parallel([&](unsigned) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 4);
+}
+
+TEST(ThreadPool, FirstExceptionWins) {
+  ThreadPool pool(4);
+  try {
+    pool.parallel([](unsigned) { throw std::runtime_error("each worker throws"); });
+    FAIL() << "expected a throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "each worker throws");
+  }
+}
+
+TEST(ThreadPool, WorkersSeeDistinctVpns) {
+  ThreadPool pool(8);
+  PerWorker<unsigned> ids(8, 999);
+  pool.parallel([&](unsigned vpn) { ids[vpn] = vpn; });
+  std::set<unsigned> seen;
+  for (std::size_t i = 0; i < 8; ++i) seen.insert(ids[i]);
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(ThreadPool, SingleWorkerPool) {
+  ThreadPool pool(1);
+  int calls = 0;
+  pool.parallel([&](unsigned vpn) {
+    EXPECT_EQ(vpn, 0u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace wlp

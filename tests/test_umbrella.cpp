@@ -1,0 +1,33 @@
+// The umbrella header must compile standalone and expose the whole API.
+#include "wlp/wlp.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wlp {
+namespace {
+
+TEST(Umbrella, EndToEndSmoke) {
+  ThreadPool pool(4);
+  // One call from each layer, just to prove the surface is reachable.
+  const ExecReport r = while_doall(pool, 100, [](long i, unsigned) {
+    return i == 40 ? IterAction::kExit : IterAction::kContinue;
+  });
+  EXPECT_EQ(r.trip, 40);
+  EXPECT_FALSE(may_overshoot(DispatcherKind::kGeneral,
+                             TerminatorClass::kRemainderInvariant));
+  const sim::Simulator sim;
+  sim::LoopProfile lp;
+  lp.u = lp.trip = 10;
+  lp.work.assign(10, 1.0);
+  EXPECT_GT(sim.run(Method::kInduction2, lp, 2).speedup, 0.0);
+
+  ir::Loop loop;
+  loop.max_iters = 4;
+  loop.body.push_back(ir::assign_array("A", ir::index(), ir::index()));
+  ir::Env env;
+  env.arrays["A"] = {0, 0, 0, 0};
+  EXPECT_EQ(ir::run_sequential(loop, env), 4);
+}
+
+}  // namespace
+}  // namespace wlp

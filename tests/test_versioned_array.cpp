@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "wlp/core/versioned_array.hpp"
+#include "wlp/sched/doall.hpp"
+
+namespace wlp {
+namespace {
+
+TEST(VersionedArray, UndoRestoresExactlyOvershotWrites) {
+  VersionedArray<int> a(std::vector<int>(10, 0));
+  a.checkpoint();
+  a.write(1, 2, 100);  // valid (trip will be 5)
+  a.write(4, 3, 200);  // valid
+  a.write(5, 4, 300);  // overshot
+  a.write(9, 5, 400);  // overshot
+  const long undone = a.undo_beyond(5);
+  EXPECT_EQ(undone, 2);
+  EXPECT_EQ(a.get(2), 100);
+  EXPECT_EQ(a.get(3), 200);
+  EXPECT_EQ(a.get(4), 0);
+  EXPECT_EQ(a.get(5), 0);
+}
+
+TEST(VersionedArray, ParallelUndoMatchesSequential) {
+  ThreadPool pool(4);
+  const long n = 10000, trip = 6000;
+  VersionedArray<long> a(std::vector<long>(static_cast<std::size_t>(n), -1));
+  a.checkpoint();
+  doall(pool, 0, n, [&](long i, unsigned) {
+    a.write(i, static_cast<std::size_t>(i), i * 10);
+  });
+  const long undone = a.undo_beyond(trip, &pool);
+  EXPECT_EQ(undone, n - trip);
+  for (long i = 0; i < n; ++i)
+    EXPECT_EQ(a.get(static_cast<std::size_t>(i)), i < trip ? i * 10 : -1) << i;
+}
+
+TEST(VersionedArray, RestoreAllAfterFailedSpeculation) {
+  VersionedArray<double> a(std::vector<double>{1.0, 2.0, 3.0});
+  a.checkpoint();
+  a.write(0, 0, 9.0);
+  a.write(1, 1, 9.0);
+  a.restore_all();
+  EXPECT_EQ(a.get(0), 1.0);
+  EXPECT_EQ(a.get(1), 2.0);
+  EXPECT_EQ(a.get(2), 3.0);
+  // Stamps cleared: nothing left to undo.
+  EXPECT_EQ(a.undo_beyond(0), 0);
+}
+
+TEST(VersionedArray, StampKeepsMaximumWriter) {
+  VersionedArray<int> a(std::vector<int>(4, 0));
+  a.checkpoint();
+  a.write(7, 1, 70);
+  a.write(3, 1, 30);  // lower iteration writes later (parallel interleaving)
+  EXPECT_EQ(a.stamp(1), 7);
+  // Undo at trip 5: stamp 7 >= 5 -> restored to checkpoint value.
+  EXPECT_EQ(a.undo_beyond(5), 1);
+  EXPECT_EQ(a.get(1), 0);
+}
+
+TEST(VersionedArray, WriteRawBypassesStamps) {
+  VersionedArray<int> a(std::vector<int>(3, 5));
+  a.checkpoint();
+  a.write_raw(0, 9);
+  EXPECT_EQ(a.stamp(0), VersionedArray<int>::kNoStamp);
+  EXPECT_EQ(a.undo_beyond(0), 0);  // raw writes are never undone
+  EXPECT_EQ(a.get(0), 9);
+}
+
+TEST(VersionedArray, UndoWithNoWritesIsNoop) {
+  VersionedArray<int> a(std::vector<int>(100, 1));
+  a.checkpoint();
+  EXPECT_EQ(a.undo_beyond(0), 0);
+}
+
+TEST(VersionedArray, DataEscapeHatchAliasesStorage) {
+  VersionedArray<int> a(std::vector<int>{1, 2, 3});
+  a.data()[1] = 42;
+  EXPECT_EQ(a.get(1), 42);
+}
+
+}  // namespace
+}  // namespace wlp

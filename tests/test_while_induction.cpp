@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "wlp/core/while_induction.hpp"
+#include "wlp/support/prng.hpp"
+
+namespace wlp {
+namespace {
+
+TEST(WhileSequential, TripForExitBeforeWork) {
+  const ExecReport r = while_sequential(100, [](long i, unsigned) {
+    return i == 30 ? IterAction::kExit : IterAction::kContinue;
+  });
+  EXPECT_EQ(r.trip, 30);
+}
+
+TEST(WhileSequential, TripForExitAfterWork) {
+  const ExecReport r = while_sequential(100, [](long i, unsigned) {
+    return i == 30 ? IterAction::kExitAfter : IterAction::kContinue;
+  });
+  EXPECT_EQ(r.trip, 31);
+}
+
+TEST(WhileSequential, RunsToUpperBound) {
+  const ExecReport r =
+      while_sequential(42, [](long, unsigned) { return IterAction::kContinue; });
+  EXPECT_EQ(r.trip, 42);
+  EXPECT_EQ(r.started, 42);
+}
+
+TEST(Induction1, ExecutesEntireRangeAndRecoversTrip) {
+  ThreadPool pool(4);
+  std::atomic<long> executed{0};
+  const ExecReport r = while_induction1(pool, 1000, [&](long i, unsigned) {
+    executed.fetch_add(1);
+    return i >= 250 ? IterAction::kExit : IterAction::kContinue;
+  });
+  EXPECT_EQ(r.method, Method::kInduction1);
+  EXPECT_EQ(r.trip, 250);
+  EXPECT_EQ(executed.load(), 1000);  // no QUIT: everything runs
+  EXPECT_EQ(r.overshot, 750);
+}
+
+TEST(Induction2, QuitLimitsOvershoot) {
+  ThreadPool pool(4);
+  std::atomic<long> executed{0};
+  const ExecReport r = while_induction2(pool, 100000, [&](long i, unsigned) {
+    executed.fetch_add(1);
+    return i >= 250 ? IterAction::kExit : IterAction::kContinue;
+  });
+  EXPECT_EQ(r.method, Method::kInduction2);
+  EXPECT_EQ(r.trip, 250);
+  EXPECT_LT(r.overshot, 1000);
+  EXPECT_EQ(executed.load(), r.started);
+}
+
+/// Property: for randomized exit patterns, both parallel methods recover the
+/// exact sequential trip count.
+class InductionTripProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(InductionTripProperty, ParallelTripEqualsSequentialTrip) {
+  ThreadPool pool(4);
+  Xoshiro256 rng(GetParam());
+  const long u = 200 + static_cast<long>(rng.below(800));
+  // A deterministic per-iteration exit pattern; the loop exits at the FIRST
+  // i whose pattern bit is set (RI-style test before work).
+  std::vector<char> exits(static_cast<std::size_t>(u), 0);
+  for (long i = 0; i < u; ++i) exits[static_cast<std::size_t>(i)] = rng.chance(0.01);
+  auto body = [&](long i, unsigned) {
+    return exits[static_cast<std::size_t>(i)] ? IterAction::kExit
+                                              : IterAction::kContinue;
+  };
+  const ExecReport seq = while_sequential(u, body);
+  const ExecReport i1 = while_induction1(pool, u, body);
+  const ExecReport i2 = while_induction2(pool, u, body);
+  EXPECT_EQ(i1.trip, seq.trip);
+  EXPECT_EQ(i2.trip, seq.trip);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InductionTripProperty,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 17u, 99u, 12345u));
+
+TEST(Induction2, WritesBelowTripAllPresent) {
+  ThreadPool pool(8);
+  const long u = 5000, exit_at = 3333;
+  std::vector<std::atomic<int>> hit(u);
+  const ExecReport r = while_induction2(pool, u, [&](long i, unsigned) {
+    if (i >= exit_at) return IterAction::kExit;
+    hit[static_cast<std::size_t>(i)].fetch_add(1);
+    return IterAction::kContinue;
+  });
+  EXPECT_EQ(r.trip, exit_at);
+  for (long i = 0; i < exit_at; ++i)
+    ASSERT_EQ(hit[static_cast<std::size_t>(i)].load(), 1) << i;
+}
+
+}  // namespace
+}  // namespace wlp
