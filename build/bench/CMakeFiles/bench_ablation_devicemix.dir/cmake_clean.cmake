@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_devicemix.dir/bench_ablation_devicemix.cpp.o"
+  "CMakeFiles/bench_ablation_devicemix.dir/bench_ablation_devicemix.cpp.o.d"
+  "bench_ablation_devicemix"
+  "bench_ablation_devicemix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_devicemix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_grain.dir/bench_ablation_grain.cpp.o"
+  "CMakeFiles/bench_ablation_grain.dir/bench_ablation_grain.cpp.o.d"
+  "bench_ablation_grain"
+  "bench_ablation_grain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_grain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

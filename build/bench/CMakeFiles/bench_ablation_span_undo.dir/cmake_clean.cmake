@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_span_undo.dir/bench_ablation_span_undo.cpp.o"
+  "CMakeFiles/bench_ablation_span_undo.dir/bench_ablation_span_undo.cpp.o.d"
+  "bench_ablation_span_undo"
+  "bench_ablation_span_undo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_span_undo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

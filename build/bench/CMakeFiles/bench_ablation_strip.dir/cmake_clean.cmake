@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_strip.dir/bench_ablation_strip.cpp.o"
+  "CMakeFiles/bench_ablation_strip.dir/bench_ablation_strip.cpp.o.d"
+  "bench_ablation_strip"
+  "bench_ablation_strip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_strip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_baseline_wulewis.dir/bench_baseline_wulewis.cpp.o"
+  "CMakeFiles/bench_baseline_wulewis.dir/bench_baseline_wulewis.cpp.o.d"
+  "bench_baseline_wulewis"
+  "bench_baseline_wulewis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_baseline_wulewis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_costmodel_bounds.dir/bench_costmodel_bounds.cpp.o"
+  "CMakeFiles/bench_costmodel_bounds.dir/bench_costmodel_bounds.cpp.o.d"
+  "bench_costmodel_bounds"
+  "bench_costmodel_bounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_costmodel_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

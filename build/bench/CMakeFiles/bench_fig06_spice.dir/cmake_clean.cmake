@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_spice.dir/bench_fig06_spice.cpp.o"
+  "CMakeFiles/bench_fig06_spice.dir/bench_fig06_spice.cpp.o.d"
+  "bench_fig06_spice"
+  "bench_fig06_spice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_spice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

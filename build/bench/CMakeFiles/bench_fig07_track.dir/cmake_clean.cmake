@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_track.dir/bench_fig07_track.cpp.o"
+  "CMakeFiles/bench_fig07_track.dir/bench_fig07_track.cpp.o.d"
+  "bench_fig07_track"
+  "bench_fig07_track.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_track.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_mcsparse_gematt12.dir/bench_fig09_mcsparse_gematt12.cpp.o"
+  "CMakeFiles/bench_fig09_mcsparse_gematt12.dir/bench_fig09_mcsparse_gematt12.cpp.o.d"
+  "bench_fig09_mcsparse_gematt12"
+  "bench_fig09_mcsparse_gematt12.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_mcsparse_gematt12.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_pd.dir/bench_micro_pd.cpp.o"
+  "CMakeFiles/bench_micro_pd.dir/bench_micro_pd.cpp.o.d"
+  "bench_micro_pd"
+  "bench_micro_pd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_pd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_prefix.dir/bench_micro_prefix.cpp.o"
+  "CMakeFiles/bench_micro_prefix.dir/bench_micro_prefix.cpp.o.d"
+  "bench_micro_prefix"
+  "bench_micro_prefix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_prefix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_undo.dir/bench_micro_undo.cpp.o"
+  "CMakeFiles/bench_micro_undo.dir/bench_micro_undo.cpp.o.d"
+  "bench_micro_undo"
+  "bench_micro_undo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_undo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

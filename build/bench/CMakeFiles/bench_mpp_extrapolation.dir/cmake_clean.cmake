@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mpp_extrapolation.dir/bench_mpp_extrapolation.cpp.o"
+  "CMakeFiles/bench_mpp_extrapolation.dir/bench_mpp_extrapolation.cpp.o.d"
+  "bench_mpp_extrapolation"
+  "bench_mpp_extrapolation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mpp_extrapolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_adaptive_site.dir/adaptive_site.cpp.o"
+  "CMakeFiles/example_adaptive_site.dir/adaptive_site.cpp.o.d"
+  "example_adaptive_site"
+  "example_adaptive_site.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_adaptive_site.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_adaptive_window.dir/adaptive_window.cpp.o"
+  "CMakeFiles/example_adaptive_window.dir/adaptive_window.cpp.o.d"
+  "example_adaptive_window"
+  "example_adaptive_window.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_adaptive_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_auto_transform.dir/auto_transform.cpp.o"
+  "CMakeFiles/example_auto_transform.dir/auto_transform.cpp.o.d"
+  "example_auto_transform"
+  "example_auto_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_auto_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

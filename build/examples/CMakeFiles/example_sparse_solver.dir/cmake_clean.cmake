@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_sparse_solver.dir/sparse_solver.cpp.o"
+  "CMakeFiles/example_sparse_solver.dir/sparse_solver.cpp.o.d"
+  "example_sparse_solver"
+  "example_sparse_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_sparse_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

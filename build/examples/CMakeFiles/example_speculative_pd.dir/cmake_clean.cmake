@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_speculative_pd.dir/speculative_pd.cpp.o"
+  "CMakeFiles/example_speculative_pd.dir/speculative_pd.cpp.o.d"
+  "example_speculative_pd"
+  "example_speculative_pd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_speculative_pd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

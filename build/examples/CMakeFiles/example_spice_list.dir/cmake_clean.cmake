@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_spice_list.dir/spice_list.cpp.o"
+  "CMakeFiles/example_spice_list.dir/spice_list.cpp.o.d"
+  "example_spice_list"
+  "example_spice_list.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_spice_list.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

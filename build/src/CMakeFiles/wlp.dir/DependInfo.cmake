@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wlp/analysis/depgraph.cpp" "src/CMakeFiles/wlp.dir/wlp/analysis/depgraph.cpp.o" "gcc" "src/CMakeFiles/wlp.dir/wlp/analysis/depgraph.cpp.o.d"
+  "/root/repo/src/wlp/analysis/distribute.cpp" "src/CMakeFiles/wlp.dir/wlp/analysis/distribute.cpp.o" "gcc" "src/CMakeFiles/wlp.dir/wlp/analysis/distribute.cpp.o.d"
+  "/root/repo/src/wlp/analysis/execute_plan.cpp" "src/CMakeFiles/wlp.dir/wlp/analysis/execute_plan.cpp.o" "gcc" "src/CMakeFiles/wlp.dir/wlp/analysis/execute_plan.cpp.o.d"
+  "/root/repo/src/wlp/analysis/loop_ir.cpp" "src/CMakeFiles/wlp.dir/wlp/analysis/loop_ir.cpp.o" "gcc" "src/CMakeFiles/wlp.dir/wlp/analysis/loop_ir.cpp.o.d"
+  "/root/repo/src/wlp/analysis/plan.cpp" "src/CMakeFiles/wlp.dir/wlp/analysis/plan.cpp.o" "gcc" "src/CMakeFiles/wlp.dir/wlp/analysis/plan.cpp.o.d"
+  "/root/repo/src/wlp/analysis/recurrence.cpp" "src/CMakeFiles/wlp.dir/wlp/analysis/recurrence.cpp.o" "gcc" "src/CMakeFiles/wlp.dir/wlp/analysis/recurrence.cpp.o.d"
+  "/root/repo/src/wlp/core/cost_model.cpp" "src/CMakeFiles/wlp.dir/wlp/core/cost_model.cpp.o" "gcc" "src/CMakeFiles/wlp.dir/wlp/core/cost_model.cpp.o.d"
+  "/root/repo/src/wlp/core/pd_test.cpp" "src/CMakeFiles/wlp.dir/wlp/core/pd_test.cpp.o" "gcc" "src/CMakeFiles/wlp.dir/wlp/core/pd_test.cpp.o.d"
+  "/root/repo/src/wlp/core/taxonomy.cpp" "src/CMakeFiles/wlp.dir/wlp/core/taxonomy.cpp.o" "gcc" "src/CMakeFiles/wlp.dir/wlp/core/taxonomy.cpp.o.d"
+  "/root/repo/src/wlp/sched/thread_pool.cpp" "src/CMakeFiles/wlp.dir/wlp/sched/thread_pool.cpp.o" "gcc" "src/CMakeFiles/wlp.dir/wlp/sched/thread_pool.cpp.o.d"
+  "/root/repo/src/wlp/sim/simulator.cpp" "src/CMakeFiles/wlp.dir/wlp/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/wlp.dir/wlp/sim/simulator.cpp.o.d"
+  "/root/repo/src/wlp/workloads/hb_generator.cpp" "src/CMakeFiles/wlp.dir/wlp/workloads/hb_generator.cpp.o" "gcc" "src/CMakeFiles/wlp.dir/wlp/workloads/hb_generator.cpp.o.d"
+  "/root/repo/src/wlp/workloads/hb_io.cpp" "src/CMakeFiles/wlp.dir/wlp/workloads/hb_io.cpp.o" "gcc" "src/CMakeFiles/wlp.dir/wlp/workloads/hb_io.cpp.o.d"
+  "/root/repo/src/wlp/workloads/ma28_pivot.cpp" "src/CMakeFiles/wlp.dir/wlp/workloads/ma28_pivot.cpp.o" "gcc" "src/CMakeFiles/wlp.dir/wlp/workloads/ma28_pivot.cpp.o.d"
+  "/root/repo/src/wlp/workloads/mcsparse_pivot.cpp" "src/CMakeFiles/wlp.dir/wlp/workloads/mcsparse_pivot.cpp.o" "gcc" "src/CMakeFiles/wlp.dir/wlp/workloads/mcsparse_pivot.cpp.o.d"
+  "/root/repo/src/wlp/workloads/sparse_lu.cpp" "src/CMakeFiles/wlp.dir/wlp/workloads/sparse_lu.cpp.o" "gcc" "src/CMakeFiles/wlp.dir/wlp/workloads/sparse_lu.cpp.o.d"
+  "/root/repo/src/wlp/workloads/sparse_matrix.cpp" "src/CMakeFiles/wlp.dir/wlp/workloads/sparse_matrix.cpp.o" "gcc" "src/CMakeFiles/wlp.dir/wlp/workloads/sparse_matrix.cpp.o.d"
+  "/root/repo/src/wlp/workloads/spice.cpp" "src/CMakeFiles/wlp.dir/wlp/workloads/spice.cpp.o" "gcc" "src/CMakeFiles/wlp.dir/wlp/workloads/spice.cpp.o.d"
+  "/root/repo/src/wlp/workloads/track.cpp" "src/CMakeFiles/wlp.dir/wlp/workloads/track.cpp.o" "gcc" "src/CMakeFiles/wlp.dir/wlp/workloads/track.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

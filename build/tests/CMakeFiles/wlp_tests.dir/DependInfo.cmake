@@ -1,0 +1,62 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_adaptive.cpp" "tests/CMakeFiles/wlp_tests.dir/test_adaptive.cpp.o" "gcc" "tests/CMakeFiles/wlp_tests.dir/test_adaptive.cpp.o.d"
+  "/root/repo/tests/test_constructs.cpp" "tests/CMakeFiles/wlp_tests.dir/test_constructs.cpp.o" "gcc" "tests/CMakeFiles/wlp_tests.dir/test_constructs.cpp.o.d"
+  "/root/repo/tests/test_cost_model.cpp" "tests/CMakeFiles/wlp_tests.dir/test_cost_model.cpp.o" "gcc" "tests/CMakeFiles/wlp_tests.dir/test_cost_model.cpp.o.d"
+  "/root/repo/tests/test_depgraph.cpp" "tests/CMakeFiles/wlp_tests.dir/test_depgraph.cpp.o" "gcc" "tests/CMakeFiles/wlp_tests.dir/test_depgraph.cpp.o.d"
+  "/root/repo/tests/test_distribute.cpp" "tests/CMakeFiles/wlp_tests.dir/test_distribute.cpp.o" "gcc" "tests/CMakeFiles/wlp_tests.dir/test_distribute.cpp.o.d"
+  "/root/repo/tests/test_doacross.cpp" "tests/CMakeFiles/wlp_tests.dir/test_doacross.cpp.o" "gcc" "tests/CMakeFiles/wlp_tests.dir/test_doacross.cpp.o.d"
+  "/root/repo/tests/test_doall.cpp" "tests/CMakeFiles/wlp_tests.dir/test_doall.cpp.o" "gcc" "tests/CMakeFiles/wlp_tests.dir/test_doall.cpp.o.d"
+  "/root/repo/tests/test_execute_plan.cpp" "tests/CMakeFiles/wlp_tests.dir/test_execute_plan.cpp.o" "gcc" "tests/CMakeFiles/wlp_tests.dir/test_execute_plan.cpp.o.d"
+  "/root/repo/tests/test_guards.cpp" "tests/CMakeFiles/wlp_tests.dir/test_guards.cpp.o" "gcc" "tests/CMakeFiles/wlp_tests.dir/test_guards.cpp.o.d"
+  "/root/repo/tests/test_hb_generator.cpp" "tests/CMakeFiles/wlp_tests.dir/test_hb_generator.cpp.o" "gcc" "tests/CMakeFiles/wlp_tests.dir/test_hb_generator.cpp.o.d"
+  "/root/repo/tests/test_hb_io.cpp" "tests/CMakeFiles/wlp_tests.dir/test_hb_io.cpp.o" "gcc" "tests/CMakeFiles/wlp_tests.dir/test_hb_io.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/wlp_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/wlp_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_linked_list.cpp" "tests/CMakeFiles/wlp_tests.dir/test_linked_list.cpp.o" "gcc" "tests/CMakeFiles/wlp_tests.dir/test_linked_list.cpp.o.d"
+  "/root/repo/tests/test_loop_ir.cpp" "tests/CMakeFiles/wlp_tests.dir/test_loop_ir.cpp.o" "gcc" "tests/CMakeFiles/wlp_tests.dir/test_loop_ir.cpp.o.d"
+  "/root/repo/tests/test_ma28_pivot.cpp" "tests/CMakeFiles/wlp_tests.dir/test_ma28_pivot.cpp.o" "gcc" "tests/CMakeFiles/wlp_tests.dir/test_ma28_pivot.cpp.o.d"
+  "/root/repo/tests/test_mcsparse_pivot.cpp" "tests/CMakeFiles/wlp_tests.dir/test_mcsparse_pivot.cpp.o" "gcc" "tests/CMakeFiles/wlp_tests.dir/test_mcsparse_pivot.cpp.o.d"
+  "/root/repo/tests/test_parallel_prefix.cpp" "tests/CMakeFiles/wlp_tests.dir/test_parallel_prefix.cpp.o" "gcc" "tests/CMakeFiles/wlp_tests.dir/test_parallel_prefix.cpp.o.d"
+  "/root/repo/tests/test_pd_shadow.cpp" "tests/CMakeFiles/wlp_tests.dir/test_pd_shadow.cpp.o" "gcc" "tests/CMakeFiles/wlp_tests.dir/test_pd_shadow.cpp.o.d"
+  "/root/repo/tests/test_plan.cpp" "tests/CMakeFiles/wlp_tests.dir/test_plan.cpp.o" "gcc" "tests/CMakeFiles/wlp_tests.dir/test_plan.cpp.o.d"
+  "/root/repo/tests/test_privatize.cpp" "tests/CMakeFiles/wlp_tests.dir/test_privatize.cpp.o" "gcc" "tests/CMakeFiles/wlp_tests.dir/test_privatize.cpp.o.d"
+  "/root/repo/tests/test_recurrence.cpp" "tests/CMakeFiles/wlp_tests.dir/test_recurrence.cpp.o" "gcc" "tests/CMakeFiles/wlp_tests.dir/test_recurrence.cpp.o.d"
+  "/root/repo/tests/test_reduce.cpp" "tests/CMakeFiles/wlp_tests.dir/test_reduce.cpp.o" "gcc" "tests/CMakeFiles/wlp_tests.dir/test_reduce.cpp.o.d"
+  "/root/repo/tests/test_run_twice.cpp" "tests/CMakeFiles/wlp_tests.dir/test_run_twice.cpp.o" "gcc" "tests/CMakeFiles/wlp_tests.dir/test_run_twice.cpp.o.d"
+  "/root/repo/tests/test_simulator.cpp" "tests/CMakeFiles/wlp_tests.dir/test_simulator.cpp.o" "gcc" "tests/CMakeFiles/wlp_tests.dir/test_simulator.cpp.o.d"
+  "/root/repo/tests/test_sliding_window.cpp" "tests/CMakeFiles/wlp_tests.dir/test_sliding_window.cpp.o" "gcc" "tests/CMakeFiles/wlp_tests.dir/test_sliding_window.cpp.o.d"
+  "/root/repo/tests/test_sparse_backup.cpp" "tests/CMakeFiles/wlp_tests.dir/test_sparse_backup.cpp.o" "gcc" "tests/CMakeFiles/wlp_tests.dir/test_sparse_backup.cpp.o.d"
+  "/root/repo/tests/test_sparse_lu.cpp" "tests/CMakeFiles/wlp_tests.dir/test_sparse_lu.cpp.o" "gcc" "tests/CMakeFiles/wlp_tests.dir/test_sparse_lu.cpp.o.d"
+  "/root/repo/tests/test_sparse_matrix.cpp" "tests/CMakeFiles/wlp_tests.dir/test_sparse_matrix.cpp.o" "gcc" "tests/CMakeFiles/wlp_tests.dir/test_sparse_matrix.cpp.o.d"
+  "/root/repo/tests/test_speculative.cpp" "tests/CMakeFiles/wlp_tests.dir/test_speculative.cpp.o" "gcc" "tests/CMakeFiles/wlp_tests.dir/test_speculative.cpp.o.d"
+  "/root/repo/tests/test_speculative_privatized.cpp" "tests/CMakeFiles/wlp_tests.dir/test_speculative_privatized.cpp.o" "gcc" "tests/CMakeFiles/wlp_tests.dir/test_speculative_privatized.cpp.o.d"
+  "/root/repo/tests/test_speculative_strips.cpp" "tests/CMakeFiles/wlp_tests.dir/test_speculative_strips.cpp.o" "gcc" "tests/CMakeFiles/wlp_tests.dir/test_speculative_strips.cpp.o.d"
+  "/root/repo/tests/test_spice_workload.cpp" "tests/CMakeFiles/wlp_tests.dir/test_spice_workload.cpp.o" "gcc" "tests/CMakeFiles/wlp_tests.dir/test_spice_workload.cpp.o.d"
+  "/root/repo/tests/test_strategies.cpp" "tests/CMakeFiles/wlp_tests.dir/test_strategies.cpp.o" "gcc" "tests/CMakeFiles/wlp_tests.dir/test_strategies.cpp.o.d"
+  "/root/repo/tests/test_support.cpp" "tests/CMakeFiles/wlp_tests.dir/test_support.cpp.o" "gcc" "tests/CMakeFiles/wlp_tests.dir/test_support.cpp.o.d"
+  "/root/repo/tests/test_taxonomy.cpp" "tests/CMakeFiles/wlp_tests.dir/test_taxonomy.cpp.o" "gcc" "tests/CMakeFiles/wlp_tests.dir/test_taxonomy.cpp.o.d"
+  "/root/repo/tests/test_thread_pool.cpp" "tests/CMakeFiles/wlp_tests.dir/test_thread_pool.cpp.o" "gcc" "tests/CMakeFiles/wlp_tests.dir/test_thread_pool.cpp.o.d"
+  "/root/repo/tests/test_umbrella.cpp" "tests/CMakeFiles/wlp_tests.dir/test_umbrella.cpp.o" "gcc" "tests/CMakeFiles/wlp_tests.dir/test_umbrella.cpp.o.d"
+  "/root/repo/tests/test_versioned_array.cpp" "tests/CMakeFiles/wlp_tests.dir/test_versioned_array.cpp.o" "gcc" "tests/CMakeFiles/wlp_tests.dir/test_versioned_array.cpp.o.d"
+  "/root/repo/tests/test_while_assoc.cpp" "tests/CMakeFiles/wlp_tests.dir/test_while_assoc.cpp.o" "gcc" "tests/CMakeFiles/wlp_tests.dir/test_while_assoc.cpp.o.d"
+  "/root/repo/tests/test_while_doany.cpp" "tests/CMakeFiles/wlp_tests.dir/test_while_doany.cpp.o" "gcc" "tests/CMakeFiles/wlp_tests.dir/test_while_doany.cpp.o.d"
+  "/root/repo/tests/test_while_general.cpp" "tests/CMakeFiles/wlp_tests.dir/test_while_general.cpp.o" "gcc" "tests/CMakeFiles/wlp_tests.dir/test_while_general.cpp.o.d"
+  "/root/repo/tests/test_while_induction.cpp" "tests/CMakeFiles/wlp_tests.dir/test_while_induction.cpp.o" "gcc" "tests/CMakeFiles/wlp_tests.dir/test_while_induction.cpp.o.d"
+  "/root/repo/tests/test_wu_lewis.cpp" "tests/CMakeFiles/wlp_tests.dir/test_wu_lewis.cpp.o" "gcc" "tests/CMakeFiles/wlp_tests.dir/test_wu_lewis.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/wlp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
