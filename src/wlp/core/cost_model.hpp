@@ -11,6 +11,7 @@
 #pragma once
 
 #include "wlp/core/taxonomy.hpp"
+#include "wlp/sched/doall.hpp"
 
 namespace wlp {
 
@@ -87,5 +88,24 @@ struct BranchStats {
 /// Expected trip count under a geometric model: E[trip] = 1/q where q is
 /// the per-iteration exit probability.
 double estimate_trip(const BranchStats& b);
+
+/// Pick the DOALL schedule for a speculative run over [0, upper_bound).
+///
+/// The trade-offs the choice balances:
+///   * a trip too short to amortize shared-counter claims → static cyclic
+///     (zero claim traffic, and cyclic issue keeps the QUIT overshoot
+///     bounded by p);
+///   * highly variable iteration cost (coefficient of variation of the
+///     body's runtime) → dynamic, chunk 1 (finest-grain load balancing);
+///   * an exit expected well before the upper bound → guided grabs sized
+///     from `upper_bound` would overshoot massively, so dynamic with a
+///     modest chunk is used instead;
+///   * otherwise → guided self-scheduling: claim-count drops from O(u/chunk)
+///     to O(p log(u/chunk)) while the tail still balances at `chunk`.
+///
+/// `expected_trip <= 0` means "unknown" (treated as running to the bound);
+/// `iter_cost_cv` is stddev/mean of the per-iteration cost (0 = uniform).
+DoallOptions choose_schedule(long upper_bound, double expected_trip,
+                             double iter_cost_cv, unsigned p);
 
 }  // namespace wlp

@@ -27,12 +27,19 @@ struct WindowOptions {
   long max_window = 1 << 20;
   std::size_t bytes_per_iteration = 0;  ///< stamp memory one iteration pins
   std::size_t memory_budget = 0;        ///< 0 disables dynamic adjustment
+  /// Claim granularity inside the window.  kDynamic issues one iteration
+  /// per grab (the original Section 8.2 behavior); kGuided claims
+  /// min(remaining/p, window slack) per grab, cutting the lock round-trips
+  /// on the issue mutex while h - l <= w still holds exactly.  Other
+  /// schedules behave as kDynamic (the window is inherently self-scheduled).
+  Sched sched = Sched::kDynamic;
 };
 
 struct WindowReport {
   ExecReport exec;
   long max_span = 0;       ///< max (h - l) observed; must stay <= max window used
   long final_window = 0;   ///< window size when the loop ended
+  long claims = 0;         ///< grabs of the issue lock that yielded work
   std::size_t peak_stamp_bytes = 0;
 };
 
@@ -63,18 +70,28 @@ WindowReport sliding_window_while(ThreadPool& pool, long u, Body&& body,
   long trip_candidate = std::numeric_limits<long>::max();
   long started = 0;
   long max_span = 0;
+  long claims = 0;
   std::size_t peak_bytes = 0;
 
   pool.parallel([&](unsigned vpn) {
     for (;;) {
-      long i;
+      long base, take;
       {
         std::unique_lock lock(mu);
         cv.wait(lock, [&] {
           return next >= u || quit.cut(next) || next - low < window;
         });
         if (next >= u || quit.cut(next)) return;
-        i = next++;
+        const long slack = window - (next - low);
+        take = 1;
+        if (opts.sched == Sched::kGuided) {
+          const long rem = u - next;
+          take = std::clamp(rem / static_cast<long>(pool.size()), 1L, slack);
+        }
+        take = std::min(take, u - next);
+        base = next;
+        next += take;
+        ++claims;
         max_span = std::max(max_span, next - low);
         if (opts.memory_budget != 0 && opts.bytes_per_iteration != 0) {
           const std::size_t in_use =
@@ -89,21 +106,34 @@ WindowReport sliding_window_while(ThreadPool& pool, long u, Body&& body,
             window = std::min(hard_max, window + 1);
           }
         }
-        ++started;
+        started += take;
       }
 
-      const IterAction act = body(i, vpn);
-      if (act == IterAction::kExit) quit.quit(i);
-      if (act == IterAction::kExitAfter) quit.quit(i + 1);
+      for (long i = base; i < base + take; ++i) {
+        if (i > base && quit.cut(i)) {
+          // QUIT landed mid-claim: retire the unexecuted tail so `low` can
+          // advance past it (the bodies never ran, so uncount them).
+          std::lock_guard lock(mu);
+          started -= base + take - i;
+          for (long j = i; j < base + take; ++j)
+            done[static_cast<std::size_t>(j)] = 1;
+          while (low < u && done[static_cast<std::size_t>(low)]) ++low;
+          break;
+        }
+        const IterAction act = body(i, vpn);
+        if (act == IterAction::kExit) quit.quit(i);
+        if (act == IterAction::kExitAfter) quit.quit(i + 1);
 
-      {
-        std::lock_guard lock(mu);
-        if (act == IterAction::kExit)
-          trip_candidate = std::min(trip_candidate, i);
-        if (act == IterAction::kExitAfter)
-          trip_candidate = std::min(trip_candidate, i + 1);
-        done[static_cast<std::size_t>(i)] = 1;
-        while (low < u && done[static_cast<std::size_t>(low)]) ++low;
+        {
+          std::lock_guard lock(mu);
+          if (act == IterAction::kExit)
+            trip_candidate = std::min(trip_candidate, i);
+          if (act == IterAction::kExitAfter)
+            trip_candidate = std::min(trip_candidate, i + 1);
+          done[static_cast<std::size_t>(i)] = 1;
+          while (low < u && done[static_cast<std::size_t>(low)]) ++low;
+        }
+        cv.notify_all();
       }
       cv.notify_all();
     }
@@ -114,6 +144,7 @@ WindowReport sliding_window_while(ThreadPool& pool, long u, Body&& body,
   wr.exec.overshot = std::max(0L, started - wr.exec.trip);
   wr.max_span = max_span;
   wr.final_window = window;
+  wr.claims = claims;
   wr.peak_stamp_bytes = peak_bytes;
   return wr;
 }

@@ -34,6 +34,9 @@ struct StripSpecReport {
   ExecReport exec;
   long strips_run = 0;
   long strips_failed = 0;  ///< strips that fell back to sequential execution
+  long claims = 0;         ///< scheduler grabs across all strips (see
+                           ///< QuitResult::claims); guided opts.doall.sched
+                           ///< shrinks this without changing strip semantics
 };
 
 /// `body(i, vpn) -> IterAction` is the instrumented parallel body (routes
@@ -64,6 +67,7 @@ StripSpecReport strip_speculative_while(ThreadPool& pool, long u, long strip,
     QuitResult qr{};
     try {
       qr = doall_quit(pool, base, end, body, opts.doall);
+      out.claims += qr.claims;
     } catch (...) {
       failed = true;
     }

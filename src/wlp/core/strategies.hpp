@@ -14,8 +14,10 @@
 //     race driver that reports which side won.
 #pragma once
 
+#include <algorithm>
 #include <span>
 
+#include "wlp/core/cost_model.hpp"
 #include "wlp/core/report.hpp"
 #include "wlp/core/speculative.hpp"
 #include "wlp/sched/doall.hpp"
@@ -32,6 +34,38 @@ ExecReport strip_mined_while(ThreadPool& pool, long u, long strip, Body&& body,
   if (strip <= 0) strip = u;
   for (long base = 0; base < u; base += strip) {
     const long end = std::min(base + strip, u);
+    const QuitResult qr = doall_quit(pool, base, end, body, opts);
+    r.started += qr.started;
+    if (qr.trip < end) {
+      r.trip = qr.trip;
+      r.overshot = std::max(0L, qr.started - (qr.trip - base));
+      return r;
+    }
+  }
+  r.trip = u;
+  return r;
+}
+
+/// Strip-mined run whose per-strip DOALL schedule is picked by the cost
+/// model (Section 8.1's statistics feeding the runtime): each strip asks
+/// `choose_schedule` with the trip count still expected *within* that strip,
+/// so early strips (exit unlikely inside them) run guided with large decayed
+/// grabs and the strip containing the expected exit drops back to
+/// finer-grained self-scheduling to bound overshoot.
+template <class Body>
+ExecReport strip_mined_while_tuned(ThreadPool& pool, long u, long strip,
+                                   double expected_trip, double iter_cost_cv,
+                                   Body&& body) {
+  ExecReport r;
+  r.method = Method::kStripMined;
+  if (strip <= 0) strip = u;
+  for (long base = 0; base < u; base += strip) {
+    const long end = std::min(base + strip, u);
+    const double trip_in_strip =
+        expected_trip <= 0 ? 0 : std::clamp(expected_trip - base, 0.0,
+                                            static_cast<double>(end - base));
+    const DoallOptions opts =
+        choose_schedule(end - base, trip_in_strip, iter_cost_cv, pool.size());
     const QuitResult qr = doall_quit(pool, base, end, body, opts);
     r.started += qr.started;
     if (qr.trip < end) {

@@ -12,10 +12,10 @@
 
 #include <atomic>
 #include <cstdint>
-#include <thread>
 #include <vector>
 
 #include "wlp/sched/thread_pool.hpp"
+#include "wlp/support/backoff.hpp"
 
 namespace wlp {
 
@@ -27,15 +27,14 @@ namespace detail {
 
 enum class SeqFlag : std::uint8_t { kPending = 0, kGo = 1, kStop = 2 };
 
+// Wait for iteration i-1's completion flag with the shared escalating
+// backoff (pause bursts, then yield) — the flag's writers don't notify, so
+// this waiter never parks.
 inline void spin_until_set(const std::atomic<std::uint8_t>& flag) {
-  int spins = 0;
-  while (flag.load(std::memory_order_acquire) ==
-         static_cast<std::uint8_t>(SeqFlag::kPending)) {
-    if (++spins > 256) {
-      std::this_thread::yield();
-      spins = 0;
-    }
-  }
+  spin_until([&] {
+    return flag.load(std::memory_order_acquire) !=
+           static_cast<std::uint8_t>(SeqFlag::kPending);
+  });
 }
 
 }  // namespace detail

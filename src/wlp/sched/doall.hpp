@@ -7,12 +7,18 @@
 // counter is *begun* after the QUIT lands; iterations already in flight may
 // complete (that is exactly the overshoot the undo machinery handles).
 //
-// Three schedules are provided:
+// Four schedules are provided:
 //   * kDynamic      — self-scheduled from a shared counter (iterations are
 //                     therefore *issued in order*, like the Alliant FX/80).
 //   * kStaticCyclic — iteration i goes to processor i mod p (General-2's
 //                     static assignment).
 //   * kStaticBlock  — contiguous blocks of u/p iterations per processor.
+//   * kGuided       — guided self-scheduling (Polychronopoulos & Kuck):
+//                     each grab claims max(remaining/p, chunk) iterations,
+//                     so contention on the shared counter decays
+//                     geometrically while the tail still load-balances at
+//                     `chunk` granularity.  Issue order stays monotone, so
+//                     QUIT semantics are identical to kDynamic.
 #pragma once
 
 #include <atomic>
@@ -32,11 +38,11 @@ enum class IterAction {
                ///< iteration `i` is the last valid one
 };
 
-enum class Sched { kDynamic, kStaticCyclic, kStaticBlock };
+enum class Sched { kDynamic, kStaticCyclic, kStaticBlock, kGuided };
 
 struct DoallOptions {
   Sched sched = Sched::kDynamic;
-  long chunk = 1;       ///< claim granularity for kDynamic
+  long chunk = 1;       ///< claim granularity for kDynamic; floor for kGuided
   bool use_quit = true; ///< honor the QUIT (false = machines without it:
                         ///< every iteration in [lo, u) executes, as in the
                         ///< unoptimized Induction-1 of Fig. 2)
@@ -69,6 +75,9 @@ class QuitBound {
 struct QuitResult {
   long trip = 0;     ///< sequential trip count (first invalid iteration index)
   long started = 0;  ///< iterations whose body actually ran in the parallel run
+  long claims = 0;   ///< grabs against the shared counter (1 per worker for
+                     ///< the static schedules) — the contention metric the
+                     ///< guided schedule exists to shrink
 };
 
 namespace detail {
@@ -87,6 +96,7 @@ QuitResult doall_quit_impl(ThreadPool& pool, long lo, long u, Body&& body,
   // and per-processor started-iteration counts.
   PerWorker<long> local_trip(p, std::numeric_limits<long>::max());
   PerWorker<long> local_started(p, 0);
+  PerWorker<long> local_claims(p, 0);
   std::atomic<long> next{lo};
 
   auto run_iter = [&](long i, unsigned vpn) {
@@ -112,7 +122,27 @@ QuitResult doall_quit_impl(ThreadPool& pool, long lo, long u, Body&& body,
         for (;;) {
           const long base = next.fetch_add(chunk, std::memory_order_relaxed);
           if (base >= u || cut(base)) return;
+          ++local_claims[vpn];
           const long end = std::min(base + chunk, u);
+          for (long i = base; i < end; ++i) {
+            if (cut(i) && i > base) return;  // chunk interior: stop early
+            run_iter(i, vpn);
+          }
+        }
+      });
+      break;
+    case Sched::kGuided:
+      pool.parallel([&](unsigned vpn) {
+        for (;;) {
+          long base = next.load(std::memory_order_relaxed);
+          long take;
+          do {
+            if (base >= u || cut(base)) return;
+            take = std::max(chunk, (u - base) / static_cast<long>(p));
+          } while (!next.compare_exchange_weak(base, base + take,
+                                               std::memory_order_relaxed));
+          ++local_claims[vpn];
+          const long end = std::min(base + take, u);
           for (long i = base; i < end; ++i) {
             if (cut(i) && i > base) return;  // chunk interior: stop early
             run_iter(i, vpn);
@@ -122,6 +152,7 @@ QuitResult doall_quit_impl(ThreadPool& pool, long lo, long u, Body&& body,
       break;
     case Sched::kStaticCyclic:
       pool.parallel([&](unsigned vpn) {
+        if (lo + vpn < u) ++local_claims[vpn];
         for (long i = lo + vpn; i < u; i += p) {
           if (cut(i)) return;
           run_iter(i, vpn);
@@ -134,6 +165,7 @@ QuitResult doall_quit_impl(ThreadPool& pool, long lo, long u, Body&& body,
         const long blk = (n + p - 1) / p;
         const long b = lo + static_cast<long>(vpn) * blk;
         const long e = std::min(b + blk, u);
+        if (b < e) ++local_claims[vpn];
         for (long i = b; i < e; ++i) {
           if (cut(i)) return;
           run_iter(i, vpn);
@@ -148,6 +180,7 @@ QuitResult doall_quit_impl(ThreadPool& pool, long lo, long u, Body&& body,
                         [](long a, long b) { return std::min(a, b); });
   r.trip = std::min(min_candidate, u);
   r.started = local_started.reduce(0L, [](long a, long b) { return a + b; });
+  r.claims = local_claims.reduce(0L, [](long a, long b) { return a + b; });
   return r;
 }
 

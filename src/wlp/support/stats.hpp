@@ -1,13 +1,32 @@
-// Small online/offline statistics helpers used by the benchmark harnesses.
+// Small online/offline statistics helpers used by the benchmark harnesses,
+// plus the instrumentation snapshot types exposed by the runtime substrate.
 #pragma once
 
 #include <algorithm>
 #include <cmath>
 #include <cstddef>
+#include <cstdint>
 #include <limits>
 #include <vector>
 
 namespace wlp {
+
+/// Snapshot of a ThreadPool's fork-join instrumentation counters.
+///
+/// Taken with `ThreadPool::stats()`; counters accumulate until
+/// `reset_stats()`.  A *wakeup* is one worker (or the caller, on the join
+/// side) leaving a barrier wait: `spin_wakeups` resolved during the bounded
+/// spin phase, `park_wakeups` had to park on the futex word.  A high park
+/// ratio on a multicore host means launches are too far apart to spin for
+/// (fine); a high park ratio *during* a tight strip/window loop means the
+/// grain is too small for the substrate.
+struct PoolStats {
+  std::uint64_t launches = 0;         ///< parallel() calls dispatched to workers
+  std::uint64_t inline_launches = 0;  ///< nested or p==1 calls run serially inline
+  std::uint64_t spin_wakeups = 0;     ///< barrier waits resolved while spinning
+  std::uint64_t park_wakeups = 0;     ///< barrier waits that parked (futex)
+  std::uint64_t stolen_shares = 0;    ///< shares the caller ran beyond vpn 0
+};
 
 /// Welford online accumulator: mean / variance / min / max in one pass.
 class RunningStats {

@@ -63,8 +63,71 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(DoallSchedCase{Sched::kDynamic, 1, "dyn1"},
                       DoallSchedCase{Sched::kDynamic, 16, "dyn16"},
                       DoallSchedCase{Sched::kStaticCyclic, 1, "cyclic"},
-                      DoallSchedCase{Sched::kStaticBlock, 1, "block"}),
+                      DoallSchedCase{Sched::kStaticBlock, 1, "block"},
+                      DoallSchedCase{Sched::kGuided, 1, "guided1"},
+                      DoallSchedCase{Sched::kGuided, 8, "guided8"}),
     [](const auto& info) { return info.param.name; });
+
+// Guided self-scheduling must deliver identical semantics to kDynamic (the
+// parameterized suite above covers trip/coverage/QUIT) while touching the
+// shared iteration counter geometrically fewer times.
+TEST(DoallGuided, ClaimsFarFewerChunksThanDynamic) {
+  ThreadPool pool(4);
+  const long n = 20000;
+  auto count_claims = [&](Sched sched) {
+    DoallOptions opts;
+    opts.sched = sched;
+    opts.chunk = 1;
+    const QuitResult qr = doall_quit(
+        pool, 0, n, [](long, unsigned) { return IterAction::kContinue; }, opts);
+    EXPECT_EQ(qr.trip, n);
+    EXPECT_EQ(qr.started, n);
+    return qr.claims;
+  };
+  const long dynamic_claims = count_claims(Sched::kDynamic);
+  const long guided_claims = count_claims(Sched::kGuided);
+  EXPECT_EQ(dynamic_claims, n);  // chunk 1: one claim per iteration
+  EXPECT_GT(guided_claims, 0);
+  // Guided claim count is O(p log(n/p)) — orders of magnitude below n.
+  EXPECT_LT(guided_claims, n / 20);
+}
+
+TEST(DoallGuided, ChunkFloorBoundsClaimSize) {
+  ThreadPool pool(4);
+  const long n = 1000;
+  DoallOptions opts;
+  opts.sched = Sched::kGuided;
+  opts.chunk = 64;  // floor: tail grabs never shrink below this
+  std::atomic<long> ran{0};
+  const QuitResult qr = doall_quit(
+      pool, 0, n,
+      [&](long, unsigned) {
+        ran.fetch_add(1, std::memory_order_relaxed);
+        return IterAction::kContinue;
+      },
+      opts);
+  EXPECT_EQ(qr.trip, n);
+  EXPECT_EQ(ran.load(), n);
+  // With a floor of 64, at most ceil(1000/64) + p claims can happen.
+  EXPECT_LE(qr.claims, n / 64 + 1 + 4);
+}
+
+TEST(DoallGuided, QuitCutsOvershootMidChunk) {
+  ThreadPool pool(4);
+  const long n = 100000;
+  DoallOptions opts;
+  opts.sched = Sched::kGuided;
+  const QuitResult qr = doall_quit(
+      pool, 0, n,
+      [](long i, unsigned) {
+        return i == 10 ? IterAction::kExit : IterAction::kContinue;
+      },
+      opts);
+  EXPECT_EQ(qr.trip, 10);
+  // The first grabs are ~n/p iterations, but the in-chunk cut must stop
+  // them soon after the QUIT lands — the whole range must not execute.
+  EXPECT_LT(qr.started, n / 2);
+}
 
 TEST(DoallQuit, ExitAfterCountsTheIteration) {
   ThreadPool pool(4);

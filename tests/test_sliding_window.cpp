@@ -66,6 +66,53 @@ TEST(SlidingWindow, BudgetGrowsWindowWhenComfortable) {
   EXPECT_GT(wr.final_window, 4);
 }
 
+TEST(SlidingWindow, GuidedClaimsKeepSpanBoundAndCutIssueLocking) {
+  ThreadPool pool(4);
+  WindowOptions opts;
+  opts.window = 64;
+  opts.max_window = 64;  // fixed window: h - l <= 64 must hold exactly
+  opts.sched = Sched::kGuided;
+  const long u = 20000;
+  std::vector<std::atomic<int>> hit(u);
+  const WindowReport wr = sliding_window_while(
+      pool, u,
+      [&](long i, unsigned) {
+        hit[static_cast<std::size_t>(i)].fetch_add(1);
+        return IterAction::kContinue;
+      },
+      opts);
+  EXPECT_EQ(wr.exec.trip, u);
+  EXPECT_LE(wr.max_span, 64);
+  for (long i = 0; i < u; ++i)
+    ASSERT_EQ(hit[static_cast<std::size_t>(i)].load(), 1) << i;
+  // One-at-a-time issue would take u lock round-trips; guided chunking
+  // must need far fewer.
+  EXPECT_GT(wr.claims, 0);
+  EXPECT_LT(wr.claims, u / 4);
+}
+
+TEST(SlidingWindow, GuidedRecoversExactTrip) {
+  ThreadPool pool(4);
+  WindowOptions opts;
+  opts.window = 32;
+  opts.sched = Sched::kGuided;
+  const long u = 5000, exit_at = 3111;
+  std::vector<std::atomic<int>> hit(u);
+  const WindowReport wr = sliding_window_while(
+      pool, u,
+      [&](long i, unsigned) {
+        hit[static_cast<std::size_t>(i)].fetch_add(1);
+        return i == exit_at ? IterAction::kExit : IterAction::kContinue;
+      },
+      opts);
+  EXPECT_EQ(wr.exec.trip, exit_at);
+  for (long i = 0; i < exit_at; ++i)
+    ASSERT_EQ(hit[static_cast<std::size_t>(i)].load(), 1) << i;
+  for (long i = 0; i < u; ++i) ASSERT_LE(hit[static_cast<std::size_t>(i)].load(), 1);
+  // Overshoot stays bounded by the window.
+  EXPECT_LE(wr.exec.started, exit_at + opts.window + 1);
+}
+
 TEST(SlidingWindow, EmptyRange) {
   ThreadPool pool(4);
   const WindowReport wr = sliding_window_while(

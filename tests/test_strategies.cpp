@@ -23,6 +23,36 @@ TEST(StripMined, TripExactAndOvershootBoundedByStrip) {
   EXPECT_LE(r.started, ((exit_at / strip) + 1) * strip);
 }
 
+TEST(StripMinedTuned, CostModelScheduleRecoversExactTrip) {
+  ThreadPool pool(4);
+  const long u = 10000, strip = 512, exit_at = 4321;
+  std::vector<std::atomic<int>> hit(u);
+  const ExecReport r = strip_mined_while_tuned(
+      pool, u, strip, /*expected_trip=*/4000.0, /*iter_cost_cv=*/0.0,
+      [&](long i, unsigned) {
+        hit[static_cast<std::size_t>(i)].fetch_add(1);
+        return i == exit_at ? IterAction::kExit : IterAction::kContinue;
+      });
+  EXPECT_EQ(r.trip, exit_at);
+  for (long i = 0; i < exit_at; ++i)
+    ASSERT_EQ(hit[static_cast<std::size_t>(i)].load(), 1) << i;
+  for (long i = 0; i < u; ++i) ASSERT_LE(hit[static_cast<std::size_t>(i)].load(), 1);
+  EXPECT_LE(r.overshot, strip);
+}
+
+TEST(StripMinedTuned, UnknownTripStillCorrect) {
+  ThreadPool pool(4);
+  std::atomic<long> runs{0};
+  const ExecReport r = strip_mined_while_tuned(
+      pool, 2000, 256, /*expected_trip=*/0.0, /*iter_cost_cv=*/2.0,
+      [&](long, unsigned) {
+        runs.fetch_add(1);
+        return IterAction::kContinue;
+      });
+  EXPECT_EQ(r.trip, 2000);
+  EXPECT_EQ(runs.load(), 2000);
+}
+
 TEST(StripMined, NoExitRunsAllStrips) {
   ThreadPool pool(4);
   std::atomic<long> runs{0};

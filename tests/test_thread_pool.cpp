@@ -1,8 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
+#include <memory>
 #include <set>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "wlp/sched/thread_pool.hpp"
@@ -73,6 +76,132 @@ TEST(ThreadPool, SingleWorkerPool) {
     ++calls;
   });
   EXPECT_EQ(calls, 1);
+}
+
+// Regression: a body that calls parallel() on the same pool used to
+// deadlock silently.  The nested launch must run inline — every vpn,
+// serially, on the calling thread — and the pool must stay usable.
+TEST(ThreadPool, NestedParallelRunsInlineSerially) {
+  ThreadPool pool(4);
+  std::atomic<long> inner{0};
+  pool.parallel([&](unsigned) {
+    pool.parallel([&](unsigned) { inner.fetch_add(1); });
+  });
+  // 4 outer bodies x 4 inline virtual processors each.
+  EXPECT_EQ(inner.load(), 16);
+
+  std::atomic<int> after{0};
+  pool.parallel([&](unsigned) { after.fetch_add(1); });
+  EXPECT_EQ(after.load(), 4);
+}
+
+TEST(ThreadPool, NestedParallelPropagatesException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel([&](unsigned vpn) {
+    if (vpn == 1)
+      pool.parallel([](unsigned inner_vpn) {
+        if (inner_vpn == 2) throw std::runtime_error("nested boom");
+      });
+  }),
+               std::runtime_error);
+  std::atomic<int> ran{0};
+  pool.parallel([&](unsigned) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 4);
+}
+
+TEST(ThreadPool, DeeplyNestedParallelStillInline) {
+  ThreadPool pool(2);
+  std::atomic<long> leaf{0};
+  pool.parallel([&](unsigned) {
+    pool.parallel([&](unsigned) {
+      pool.parallel([&](unsigned) { leaf.fetch_add(1); });
+    });
+  });
+  EXPECT_EQ(leaf.load(), 2 * 2 * 2);
+}
+
+// A body whose shares rendezvous with each other (DOACROSS and the sliding
+// window do this via flags/condvars) requires every share to end up on a
+// live thread.  With share stealing this holds because the doorbell wake is
+// never skipped while a share is unclaimed; a regression here shows up as a
+// hang.
+TEST(ThreadPool, BodyRendezvousAcrossShares) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 100; ++round) {
+    std::atomic<unsigned> arrived{0};
+    pool.parallel([&](unsigned) {
+      arrived.fetch_add(1);
+      while (arrived.load() < 4) std::this_thread::yield();
+    });
+    ASSERT_EQ(arrived.load(), 4u);
+  }
+}
+
+// Hammer the barrier: a lost wakeup or an epoch/generation bug shows up as
+// a hang (the test times out) or a miscount.
+TEST(ThreadPool, StressTenThousandEmptyLaunches) {
+  ThreadPool pool(4);
+  std::atomic<long> total{0};
+  const int kLaunches = 10000;
+  for (int i = 0; i < kLaunches; ++i)
+    pool.parallel([&](unsigned) { total.fetch_add(1, std::memory_order_relaxed); });
+  EXPECT_EQ(total.load(), 4L * kLaunches);
+}
+
+TEST(ThreadPool, StatsCountLaunchesAndWakeups) {
+  ThreadPool pool(4);
+  pool.reset_stats();
+  const int kLaunches = 100;
+  for (int i = 0; i < kLaunches; ++i) pool.parallel([](unsigned) {});
+  const PoolStats s = pool.stats();
+  EXPECT_EQ(s.launches, static_cast<std::uint64_t>(kLaunches));
+  EXPECT_EQ(s.inline_launches, 0u);
+  // The caller records exactly one join wait per launch; each helper
+  // records at most one wakeup per launch but may sleep through launches
+  // the caller absorbed entirely by stealing their shares.
+  EXPECT_GE(s.spin_wakeups + s.park_wakeups,
+            static_cast<std::uint64_t>(kLaunches));
+  EXPECT_LE(s.spin_wakeups + s.park_wakeups,
+            static_cast<std::uint64_t>(kLaunches) * 4);
+  // Every share ran exactly once: caller steals + helper shares = 3/launch.
+  EXPECT_LE(s.stolen_shares, static_cast<std::uint64_t>(kLaunches) * 3);
+
+  pool.reset_stats();
+  const PoolStats z = pool.stats();
+  EXPECT_EQ(z.launches, 0u);
+  EXPECT_EQ(z.spin_wakeups + z.park_wakeups, 0u);
+}
+
+TEST(ThreadPool, StatsCountInlineLaunches) {
+  ThreadPool pool(1);  // size-1 pools always run inline
+  pool.reset_stats();
+  pool.parallel([](unsigned) {});
+  ThreadPool nested(4);
+  nested.reset_stats();
+  nested.parallel([&](unsigned vpn) {
+    if (vpn == 0) nested.parallel([](unsigned) {});
+  });
+  EXPECT_EQ(pool.stats().inline_launches, 1u);
+  EXPECT_EQ(nested.stats().launches, 1u);
+  EXPECT_EQ(nested.stats().inline_launches, 1u);
+}
+
+// The JobRef job slot must not require a copyable callable and must not
+// allocate: run a launch whose capture block is large enough that a
+// std::function would have heap-allocated (no way to assert the allocation
+// away portably, but the move-only capture would not even compile against a
+// std::function-based parallel()).
+TEST(ThreadPool, MoveOnlyCaptureAndLargeCapture) {
+  ThreadPool pool(4);
+  auto big = std::make_unique<std::array<long, 64>>();
+  big->fill(7);
+  std::atomic<long> sum{0};
+  pool.parallel([&sum, owned = std::move(big), pad = std::array<long, 32>{}](
+                    unsigned vpn) {
+    (void)pad;
+    sum.fetch_add((*owned)[vpn]);
+  });
+  EXPECT_EQ(sum.load(), 4 * 7);
 }
 
 }  // namespace
