@@ -2,7 +2,8 @@
 //
 // Each bench prints (a) the paper's reference numbers next to ours, (b) an
 // ASCII speedup curve per series so the shape is visible in plain terminal
-// output, and (c) a machine-readable CSV block.  Speedups come from the
+// output, and (c) writes a machine-readable BENCH_<name>.json in the same
+// schema family as BENCH_forkjoin.json.  Speedups come from the
 // simulated multiprocessor (see DESIGN.md, "Substitutions": the host has a
 // single core, so the Alliant FX/80 is modeled, not timed); functional
 // correctness of every method is established by the test suite and spot-
@@ -10,10 +11,13 @@
 #pragma once
 
 #include <cstdio>
+#include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "wlp/sim/simulator.hpp"
+#include "wlp/support/json.hpp"
 #include "wlp/support/stats.hpp"
 #include "wlp/support/table.hpp"
 
@@ -30,9 +34,47 @@ struct Series {
   double paper_at_8 = 0;         ///< the paper's value at p = 8 (0 = n/a)
 };
 
+/// Emit one figure's data as BENCH_<name>.json: the same schema family as
+/// BENCH_forkjoin.json (a "bench" slug, host info, then the payload), so one
+/// script can sweep every artifact the benches produce.
+inline void write_figure_json(const std::string& name, const std::string& title,
+                              const std::vector<Series>& series) {
+  const std::string path = "BENCH_" + name + ".json";
+  std::ofstream os(path);
+  if (!os) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return;
+  }
+  JsonWriter w(os);
+  w.begin_object();
+  w.kv("bench", name);
+  w.kv("title", title);
+  w.kv("host_hw_concurrency", std::thread::hardware_concurrency());
+  w.key("processor_counts").begin_array();
+  for (int p : processor_counts()) w.value(p);
+  w.end_array();
+  w.key("series").begin_array();
+  for (const Series& s : series) {
+    w.begin_object();
+    w.kv("label", s.label);
+    if (s.paper_at_8 > 0) w.kv("paper_at_8", s.paper_at_8);
+    w.kv("measured_at_8", s.speedups.empty() ? 0.0 : s.speedups.back());
+    w.key("speedups").begin_array();
+    for (double v : s.speedups) w.value(v);
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  os << '\n';
+  std::printf("wrote %s\n", path.c_str());
+}
+
 /// Print one figure: per-series curves, the p = 8 comparison against the
-/// paper, and a CSV block.
-inline void print_figure(const std::string& title, const std::vector<Series>& series) {
+/// paper, and the BENCH_<name>.json artifact (`name` is the machine slug,
+/// e.g. "fig06_spice").
+inline void print_figure(const std::string& title, const std::vector<Series>& series,
+                         const std::string& name) {
   std::printf("==== %s ====\n\n", title.c_str());
 
   double ymax = 1;
@@ -54,16 +96,9 @@ inline void print_figure(const std::string& title, const std::vector<Series>& se
                  : "-"});
   }
   cmp.print();
-
-  std::printf("\ncsv:\np");
-  for (const Series& s : series) std::printf(",%s", s.label.c_str());
   std::printf("\n");
-  for (std::size_t k = 0; k < processor_counts().size(); ++k) {
-    std::printf("%d", processor_counts()[k]);
-    for (const Series& s : series)
-      std::printf(",%.4f", k < s.speedups.size() ? s.speedups[k] : 0.0);
-    std::printf("\n");
-  }
+
+  write_figure_json(name, title, series);
   std::printf("\n");
 }
 

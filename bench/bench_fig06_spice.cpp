@@ -37,7 +37,7 @@ int main() {
                     sim.speedup_curve(Method::kGeneral3, profile, processor_counts()),
                     4.9});
   print_figure("Figure 6: SPICE LOAD loop 40 (device list, RI terminator)",
-               series);
+               series, "fig06_spice");
 
   std::printf("devices=%ld  mean work/device=%.2f cycles  hops(G3 runtime)=%ld\n",
               cfg.devices,

@@ -49,7 +49,7 @@ int main() {
                                       processor_counts()),
                     0});
   print_figure("Figure 7: TRACK FPTRAK loop 300 (induction, RV error exit)",
-               series);
+               series, "fig07_track");
 
   std::printf("candidates=%ld  error at iteration %ld  runtime undo restored %ld writes\n",
               cfg.candidates, loop.expected_trip(), rt.undone_writes);

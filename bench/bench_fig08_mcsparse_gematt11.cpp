@@ -4,6 +4,6 @@
 
 int main() {
   return wlp::bench::run_mcsparse_figure(
-      "Figure 8", "gematt11", wlp::workloads::gen_gematt11(),
+      "Figure 8", "fig08_mcsparse_gematt11", "gematt11", wlp::workloads::gen_gematt11(),
       /*accept_cost=*/0, /*paper_at_8=*/7.0);
 }

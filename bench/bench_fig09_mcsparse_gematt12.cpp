@@ -4,6 +4,6 @@
 
 int main() {
   return wlp::bench::run_mcsparse_figure(
-      "Figure 9", "gematt12", wlp::workloads::gen_gematt12(),
+      "Figure 9", "fig09_mcsparse_gematt12", "gematt12", wlp::workloads::gen_gematt12(),
       /*accept_cost=*/0, /*paper_at_8=*/6.8);
 }

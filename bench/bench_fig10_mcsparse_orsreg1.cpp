@@ -4,6 +4,6 @@
 
 int main() {
   return wlp::bench::run_mcsparse_figure(
-      "Figure 10", "orsreg1", wlp::workloads::gen_orsreg1(),
+      "Figure 10", "fig10_mcsparse_orsreg1", "orsreg1", wlp::workloads::gen_orsreg1(),
       /*accept_cost=*/25, /*paper_at_8=*/4.8);
 }

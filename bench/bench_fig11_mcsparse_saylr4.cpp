@@ -4,6 +4,6 @@
 
 int main() {
   return wlp::bench::run_mcsparse_figure(
-      "Figure 11", "saylr4", wlp::workloads::gen_saylr4(),
+      "Figure 11", "fig11_mcsparse_saylr4", "saylr4", wlp::workloads::gen_saylr4(),
       /*accept_cost=*/16, /*paper_at_8=*/5.7, /*order_seed=*/502);
 }

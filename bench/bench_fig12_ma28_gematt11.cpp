@@ -6,7 +6,7 @@ int main() {
   using wlp::bench::Ma28LoopSetup;
   using wlp::workloads::SearchAxis;
   return wlp::bench::run_ma28_figure(
-      "Figure 12", "gematt11", wlp::workloads::gen_gematt11(),
+      "Figure 12", "fig12_ma28_gematt11", "gematt11", wlp::workloads::gen_gematt11(),
       Ma28LoopSetup{"loop 270", SearchAxis::kRows, 0.45, 3.5},
       Ma28LoopSetup{"loop 320", SearchAxis::kColumns, 0.35, 4.8});
 }

@@ -6,7 +6,7 @@ int main() {
   using wlp::bench::Ma28LoopSetup;
   using wlp::workloads::SearchAxis;
   return wlp::bench::run_ma28_figure(
-      "Figure 13", "gematt12", wlp::workloads::gen_gematt12(),
+      "Figure 13", "fig13_ma28_gematt12", "gematt12", wlp::workloads::gen_gematt12(),
       Ma28LoopSetup{"loop 270", SearchAxis::kRows, 0.50, 3.4},
       Ma28LoopSetup{"loop 320", SearchAxis::kColumns, 0.35, 4.5});
 }

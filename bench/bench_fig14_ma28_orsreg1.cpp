@@ -6,7 +6,7 @@ int main() {
   using wlp::bench::Ma28LoopSetup;
   using wlp::workloads::SearchAxis;
   return wlp::bench::run_ma28_figure(
-      "Figure 14", "orsreg1", wlp::workloads::gen_orsreg1(),
+      "Figure 14", "fig14_ma28_orsreg1", "orsreg1", wlp::workloads::gen_orsreg1(),
       Ma28LoopSetup{"loop 270", SearchAxis::kRows, 0.30, 5.3},
       Ma28LoopSetup{"loop 320", SearchAxis::kColumns, 0.50, 2.8});
 }

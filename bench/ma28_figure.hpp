@@ -32,7 +32,8 @@ struct Ma28LoopSetup {
   double paper_at_8;
 };
 
-inline int run_ma28_figure(const std::string& figure, const std::string& input,
+inline int run_ma28_figure(const std::string& figure, const std::string& slug,
+                           const std::string& input,
                            const workloads::SparseMatrix& matrix,
                            const Ma28LoopSetup& loop270,
                            const Ma28LoopSetup& loop320) {
@@ -74,7 +75,8 @@ inline int run_ma28_figure(const std::string& figure, const std::string& input,
                 l.label, lu.n() - lu.pivots_done(), depth, search.candidates());
   }
 
-  print_figure(figure + ": MA28 MA30AD loops 270/320, input " + input, series);
+  print_figure(figure + ": MA28 MA30AD loops 270/320, input " + input, series,
+               slug);
   std::printf("backups + time-stamps on: pivots reduced in time-stamp order\n");
   return rc;
 }

@@ -18,6 +18,7 @@
 namespace wlp::bench {
 
 inline int run_mcsparse_figure(const std::string& figure,
+                               const std::string& slug,
                                const std::string& input,
                                const workloads::SparseMatrix& matrix,
                                long accept_cost, double paper_at_8,
@@ -46,7 +47,8 @@ inline int run_mcsparse_figure(const std::string& figure,
   series.push_back({"WHILE-DOANY (" + input + ")",
                     sim.speedup_curve(Method::kDoany, profile, processor_counts()),
                     paper_at_8});
-  print_figure(figure + ": MCSPARSE DFACT loop 500, input " + input, series);
+  print_figure(figure + ": MCSPARSE DFACT loop 500, input " + input, series,
+               slug);
 
   std::printf("n=%d nnz=%ld  candidates=%ld  sequential search depth=%ld\n"
               "no backups, no time-stamps (order-insensitive search)\n",

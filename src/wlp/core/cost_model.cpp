@@ -87,6 +87,13 @@ double estimate_trip(const BranchStats& b) {
   return 1.0 / q;
 }
 
+double expected_speculative_speedup(const Prediction& pred, double p_parallel) {
+  const double p = std::clamp(p_parallel, 0.0, 1.0);
+  // A failure runs the loop sequentially again after the failed attempt:
+  // time = (1 + failed_slowdown) * Tseq, i.e. speedup 1/(1 + slowdown).
+  return p * pred.spat + (1.0 - p) / (1.0 + pred.failed_slowdown);
+}
+
 DoallOptions choose_schedule(long upper_bound, double expected_trip,
                              double iter_cost_cv, unsigned p) {
   DoallOptions opts;

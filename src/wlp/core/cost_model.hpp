@@ -89,6 +89,12 @@ struct BranchStats {
 /// the per-iteration exit probability.
 double estimate_trip(const BranchStats& b);
 
+/// Expected end-to-end speedup of attempting the speculation when the loop
+/// turns out parallel with probability `p_parallel` (Section 7 weighted by
+/// the Section 11 run-time history): successes deliver Spat, failures cost
+/// the sequential re-execution plus the wasted attempt.
+double expected_speculative_speedup(const Prediction& pred, double p_parallel);
+
 /// Pick the DOALL schedule for a speculative run over [0, upper_bound).
 ///
 /// The trade-offs the choice balances:

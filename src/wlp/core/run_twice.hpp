@@ -16,6 +16,7 @@
 
 #include <span>
 
+#include "wlp/obs/obs.hpp"
 #include "wlp/core/report.hpp"
 #include "wlp/core/speculative.hpp"
 
@@ -33,10 +34,18 @@ template <class Probe, class Work>
 RunTwiceReport run_twice_while(ThreadPool& pool, long u, Probe&& probe,
                                Work&& work, DoallOptions opts = {}) {
   RunTwiceReport out;
-  const QuitResult pass1 = doall_quit(pool, 0, u, probe, opts);
+  WLP_OBS_COUNT("wlp.runtwice.runs", 1);
+  QuitResult pass1{};
+  {
+    WLP_TRACE_SCOPE("runtwice.probe", u, 0);
+    pass1 = doall_quit(pool, 0, u, probe, opts);
+  }
   out.probe_started = pass1.started;
 
-  doall(pool, 0, pass1.trip, work, opts);
+  {
+    WLP_TRACE_SCOPE("runtwice.work", pass1.trip, 0);
+    doall(pool, 0, pass1.trip, work, opts);
+  }
   out.exec.method = Method::kInduction2;
   out.exec.trip = pass1.trip;
   out.exec.started = pass1.trip;
@@ -56,7 +65,12 @@ RunTwiceReport run_twice_speculative(ThreadPool& pool, long u, Probe&& probe,
                                      Work&& work, SeqRun&& run_sequential,
                                      SpecOptions opts = {}) {
   RunTwiceReport out;
-  const QuitResult pass1 = doall_quit(pool, 0, u, probe, opts.doall);
+  WLP_OBS_COUNT("wlp.runtwice.runs", 1);
+  QuitResult pass1{};
+  {
+    WLP_TRACE_SCOPE("runtwice.probe", u, 0);
+    pass1 = doall_quit(pool, 0, u, probe, opts.doall);
+  }
   out.probe_started = pass1.started;
   const long trip = pass1.trip;
 

@@ -15,6 +15,7 @@
 #include <mutex>
 #include <vector>
 
+#include "wlp/obs/obs.hpp"
 #include "wlp/core/report.hpp"
 #include "wlp/sched/doall.hpp"
 #include "wlp/sched/thread_pool.hpp"
@@ -51,6 +52,7 @@ WindowReport sliding_window_while(ThreadPool& pool, long u, Body&& body,
   WindowReport wr;
   wr.exec.method = Method::kSlidingWindow;
   if (u <= 0) return wr;
+  WLP_TRACE_SCOPE("window.run", u, opts.window);
 
   std::mutex mu;
   std::condition_variable cv;
@@ -93,6 +95,7 @@ WindowReport sliding_window_while(ThreadPool& pool, long u, Body&& body,
         next += take;
         ++claims;
         max_span = std::max(max_span, next - low);
+        WLP_TRACE_INSTANT("window.claim", base, take);
         if (opts.memory_budget != 0 && opts.bytes_per_iteration != 0) {
           const std::size_t in_use =
               static_cast<std::size_t>(next - low) * opts.bytes_per_iteration;
@@ -100,11 +103,13 @@ WindowReport sliding_window_while(ThreadPool& pool, long u, Body&& body,
           // Multiplicative decrease when occupancy approaches the budget,
           // additive increase while comfortably under it — always inside
           // the hard cap derived from the budget.
+          const long before = window;
           if (in_use * 2 > opts.memory_budget) {
             window = std::max(opts.min_window, window / 2);
           } else {
             window = std::min(hard_max, window + 1);
           }
+          if (window != before) WLP_TRACE_COUNTER("window.size", window);
         }
         started += take;
       }
@@ -146,6 +151,11 @@ WindowReport sliding_window_while(ThreadPool& pool, long u, Body&& body,
   wr.final_window = window;
   wr.claims = claims;
   wr.peak_stamp_bytes = peak_bytes;
+  WLP_OBS_COUNT("wlp.window.runs", 1);
+  WLP_OBS_COUNT("wlp.window.claims", claims);
+  WLP_OBS_HIST("wlp.window.span", max_span);
+  WLP_OBS_HIST("wlp.window.overshoot", wr.exec.overshot);
+  WLP_OBS_GAUGE_SET("wlp.window.final_size", window);
   return wr;
 }
 

@@ -16,6 +16,7 @@
 #include <span>
 #include <vector>
 
+#include "wlp/obs/obs.hpp"
 #include "wlp/core/report.hpp"
 #include "wlp/core/shadow.hpp"
 #include "wlp/core/versioned_array.hpp"
@@ -119,10 +120,15 @@ ExecReport speculative_while(ThreadPool& pool, long u,
   r.method = Method::kInduction2;
   r.used_checkpoint = true;
   r.used_stamps = true;
+  WLP_TRACE_SCOPE("spec.round", u, targets.size());
+  WLP_OBS_COUNT("wlp.spec.rounds", 1);
 
-  for (SpecTarget* t : targets) {
-    t->reset_marks();
-    t->checkpoint();
+  {
+    WLP_TRACE_SCOPE("spec.checkpoint", u, 0);
+    for (SpecTarget* t : targets) {
+      t->reset_marks();
+      t->checkpoint();
+    }
   }
 
   bool failed = false;
@@ -132,12 +138,15 @@ ExecReport speculative_while(ThreadPool& pool, long u,
   } catch (...) {
     // Section 5.1: treat exceptions like an invalid parallel execution.
     failed = true;
+    WLP_OBS_COUNT("wlp.spec.exceptions", 1);
   }
 
   if (!failed) {
     r.trip = qr.trip;
     r.started = qr.started;
     r.overshot = std::max(0L, qr.started - qr.trip);
+    WLP_OBS_HIST("wlp.spec.overshoot", r.overshot);
+    WLP_TRACE_SCOPE("pd.analyze", qr.trip, 0);
     for (SpecTarget* t : targets) {
       if (!t->shadowed()) continue;
       r.pd_tested = true;
@@ -147,17 +156,28 @@ ExecReport speculative_while(ThreadPool& pool, long u,
         failed = true;
       }
     }
+    if (r.pd_tested)
+      WLP_OBS_COUNT(r.pd_passed ? "wlp.spec.pd_pass" : "wlp.spec.pd_fail", 1);
   }
 
   if (failed) {
+    WLP_TRACE_SCOPE("spec.seq_reexec", u, 0);
+    WLP_OBS_COUNT("wlp.spec.seq_reexec", 1);
     for (SpecTarget* t : targets) t->restore_all();
     r.reexecuted_sequentially = true;
     r.trip = run_sequential();
     return r;
   }
 
-  for (SpecTarget* t : targets)
-    r.undone_writes += t->undo_beyond(qr.trip, opts.undo_in_parallel ? &pool : nullptr);
+  {
+    WLP_TRACE_SCOPE_NAMED(undo_scope, "undo", qr.trip, 0);
+    for (SpecTarget* t : targets)
+      r.undone_writes +=
+          t->undo_beyond(qr.trip, opts.undo_in_parallel ? &pool : nullptr);
+    undo_scope.args(static_cast<std::uint64_t>(qr.trip),
+                    static_cast<std::uint64_t>(r.undone_writes));
+  }
+  WLP_OBS_HIST("wlp.spec.undo_writes", r.undone_writes);
   return r;
 }
 

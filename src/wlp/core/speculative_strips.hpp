@@ -25,6 +25,7 @@
 
 #include <span>
 
+#include "wlp/obs/obs.hpp"
 #include "wlp/core/report.hpp"
 #include "wlp/core/speculative.hpp"
 
@@ -57,6 +58,8 @@ StripSpecReport strip_speculative_while(ThreadPool& pool, long u, long strip,
   for (long base = 0; base < u; base += strip) {
     const long end = std::min(base + strip, u);
     ++out.strips_run;
+    WLP_TRACE_SCOPE("strip", base, end - base);
+    WLP_OBS_COUNT("wlp.strip.runs", 1);
 
     for (SpecTarget* t : targets) {
       t->reset_marks();
@@ -85,6 +88,7 @@ StripSpecReport strip_speculative_while(ThreadPool& pool, long u, long strip,
 
     if (failed) {
       ++out.strips_failed;
+      WLP_OBS_COUNT("wlp.strip.failures", 1);
       for (SpecTarget* t : targets) t->restore_all();
       const long trip = run_strip_sequential(base, end);
       out.exec.started += trip - base;
@@ -98,9 +102,15 @@ StripSpecReport strip_speculative_while(ThreadPool& pool, long u, long strip,
 
     out.exec.started += qr.started;
     if (qr.trip < end) {  // the loop genuinely ends inside this strip
-      for (SpecTarget* t : targets)
-        out.exec.undone_writes +=
-            t->undo_beyond(qr.trip, opts.undo_in_parallel ? &pool : nullptr);
+      {
+        WLP_TRACE_SCOPE_NAMED(undo_scope, "undo", qr.trip, 0);
+        for (SpecTarget* t : targets)
+          out.exec.undone_writes +=
+              t->undo_beyond(qr.trip, opts.undo_in_parallel ? &pool : nullptr);
+        undo_scope.args(static_cast<std::uint64_t>(qr.trip),
+                        static_cast<std::uint64_t>(out.exec.undone_writes));
+      }
+      WLP_OBS_HIST("wlp.spec.undo_writes", out.exec.undone_writes);
       out.exec.trip = qr.trip;
       out.exec.overshot += std::max(0L, qr.started - (qr.trip - base));
       return out;

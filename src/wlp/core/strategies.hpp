@@ -17,6 +17,7 @@
 #include <algorithm>
 #include <span>
 
+#include "wlp/obs/obs.hpp"
 #include "wlp/core/cost_model.hpp"
 #include "wlp/core/report.hpp"
 #include "wlp/core/speculative.hpp"
@@ -34,6 +35,8 @@ ExecReport strip_mined_while(ThreadPool& pool, long u, long strip, Body&& body,
   if (strip <= 0) strip = u;
   for (long base = 0; base < u; base += strip) {
     const long end = std::min(base + strip, u);
+    WLP_TRACE_SCOPE("strip", base, end - base);
+    WLP_OBS_COUNT("wlp.strip.runs", 1);
     const QuitResult qr = doall_quit(pool, base, end, body, opts);
     r.started += qr.started;
     if (qr.trip < end) {
@@ -61,6 +64,8 @@ ExecReport strip_mined_while_tuned(ThreadPool& pool, long u, long strip,
   if (strip <= 0) strip = u;
   for (long base = 0; base < u; base += strip) {
     const long end = std::min(base + strip, u);
+    WLP_TRACE_SCOPE("strip", base, end - base);
+    WLP_OBS_COUNT("wlp.strip.runs", 1);
     const double trip_in_strip =
         expected_trip <= 0 ? 0 : std::clamp(expected_trip - base, 0.0,
                                             static_cast<double>(end - base));
@@ -125,14 +130,23 @@ ExecReport stats_enhanced_while(ThreadPool& pool, long u, StampThreshold thresho
   if (qr.trip < threshold.value) {
     // The estimate was wrong on the short side: unstamped overshot writes
     // exist, so selective undo is impossible.
+    WLP_OBS_COUNT("wlp.spec.abandoned", 1);
+    WLP_TRACE_SCOPE("spec.seq_reexec", u, 0);
     for (SpecTarget* t : targets) t->restore_all();
     r.reexecuted_sequentially = true;
     r.trip = run_sequential();
     return r;
   }
 
-  for (SpecTarget* t : targets)
-    r.undone_writes += t->undo_beyond(qr.trip, opts.undo_in_parallel ? &pool : nullptr);
+  {
+    WLP_TRACE_SCOPE_NAMED(undo_scope, "undo", qr.trip, 0);
+    for (SpecTarget* t : targets)
+      r.undone_writes +=
+          t->undo_beyond(qr.trip, opts.undo_in_parallel ? &pool : nullptr);
+    undo_scope.args(static_cast<std::uint64_t>(qr.trip),
+                    static_cast<std::uint64_t>(r.undone_writes));
+  }
+  WLP_OBS_HIST("wlp.spec.undo_writes", r.undone_writes);
   return r;
 }
 
@@ -151,9 +165,14 @@ struct HedgeOutcome {
 template <class ParRun, class SeqRun>
 HedgeOutcome one_processor_hedge(ParRun&& run_parallel, SeqRun&& run_sequential) {
   HedgeOutcome h;
+  WLP_TRACE_SCOPE_NAMED(hedge_scope, "hedge", 0, 0);
   h.parallel = run_parallel();
   h.sequential_trip = run_sequential();
   h.parallel_won = !h.parallel.reexecuted_sequentially;
+  WLP_OBS_COUNT("wlp.hedge.runs", 1);
+  WLP_OBS_COUNT(h.parallel_won ? "wlp.hedge.parallel_won" : "wlp.hedge.sequential_won", 1);
+  hedge_scope.args(static_cast<std::uint64_t>(h.sequential_trip),
+                   static_cast<std::uint64_t>(h.parallel_won));
   return h;
 }
 

@@ -1,0 +1,179 @@
+#include "wlp/obs/metrics.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "wlp/support/json.hpp"
+
+namespace wlp::obs {
+
+namespace {
+std::atomic<bool> g_metrics_enabled{true};
+}
+
+bool metrics_enabled() noexcept {
+  return g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+void set_metrics_enabled(bool on) noexcept {
+  g_metrics_enabled.store(on, std::memory_order_relaxed);
+}
+
+Registry& Registry::instance() {
+  static Registry r;
+  return r;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  std::lock_guard lock(mu_);
+  auto it = metrics_.find(name);
+  if (it == metrics_.end())
+    it = metrics_.emplace(std::string(name), Entry{}).first;
+  if (!it->second.c) {
+    assert(!it->second.g && !it->second.h && "metric kind mismatch");
+    it->second.c = std::make_unique<Counter>();
+  }
+  return *it->second.c;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  std::lock_guard lock(mu_);
+  auto it = metrics_.find(name);
+  if (it == metrics_.end())
+    it = metrics_.emplace(std::string(name), Entry{}).first;
+  if (!it->second.g) {
+    assert(!it->second.c && !it->second.h && "metric kind mismatch");
+    it->second.g = std::make_unique<Gauge>();
+  }
+  return *it->second.g;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  std::lock_guard lock(mu_);
+  auto it = metrics_.find(name);
+  if (it == metrics_.end())
+    it = metrics_.emplace(std::string(name), Entry{}).first;
+  if (!it->second.h) {
+    assert(!it->second.c && !it->second.g && "metric kind mismatch");
+    it->second.h = std::make_unique<Histogram>();
+  }
+  return *it->second.h;
+}
+
+int Registry::add_provider(Provider p) {
+  std::lock_guard lock(mu_);
+  const int id = next_provider_id_++;
+  providers_.emplace_back(id, std::move(p));
+  return id;
+}
+
+void Registry::remove_provider(int id) {
+  std::lock_guard lock(mu_);
+  std::erase_if(providers_, [id](const auto& pr) { return pr.first == id; });
+}
+
+Snapshot Registry::snapshot() const {
+  Snapshot out;
+  {
+    std::lock_guard lock(mu_);
+    for (const auto& [name, e] : metrics_) {
+      MetricSample s;
+      s.name = name;
+      if (e.c) {
+        s.kind = MetricSample::Kind::kCounter;
+        s.value = static_cast<std::int64_t>(e.c->value());
+      } else if (e.g) {
+        s.kind = MetricSample::Kind::kGauge;
+        s.value = e.g->value();
+      } else if (e.h) {
+        s.kind = MetricSample::Kind::kHistogram;
+        s.value = static_cast<std::int64_t>(e.h->count());
+        s.sum = e.h->sum();
+        s.mean = e.h->mean();
+        s.p50 = e.h->quantile_bound(0.50);
+        s.p99 = e.h->quantile_bound(0.99);
+      } else {
+        continue;  // name reserved but never materialized
+      }
+      out.push_back(std::move(s));
+    }
+    // Providers must not call back into the registry (mu_ is held).
+    for (const auto& pr : providers_) pr.second(out);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MetricSample& a, const MetricSample& b) {
+              return a.name < b.name;
+            });
+  // Merge same-name samples: a live provider's view (e.g. a running
+  // ThreadPool's `wlp.pool.launches`) plus the owned counter holding folded
+  // totals from dead instances read as one figure.
+  Snapshot merged;
+  for (MetricSample& s : out) {
+    if (!merged.empty() && merged.back().name == s.name &&
+        merged.back().kind == s.kind) {
+      MetricSample& m = merged.back();
+      switch (s.kind) {
+        case MetricSample::Kind::kCounter:
+          m.value += s.value;
+          break;
+        case MetricSample::Kind::kGauge:
+          m.value = s.value;  // last writer wins
+          break;
+        case MetricSample::Kind::kHistogram:
+          m.value += s.value;
+          m.sum += s.sum;
+          m.mean = m.value ? static_cast<double>(m.sum) /
+                                 static_cast<double>(m.value)
+                           : 0.0;
+          m.p50 = std::max(m.p50, s.p50);
+          m.p99 = std::max(m.p99, s.p99);
+          break;
+      }
+    } else {
+      merged.push_back(std::move(s));
+    }
+  }
+  return merged;
+}
+
+void Registry::reset() {
+  std::lock_guard lock(mu_);
+  for (auto& [name, e] : metrics_) {
+    if (e.c) e.c->reset();
+    if (e.g) e.g->reset();
+    if (e.h) e.h->reset();
+  }
+}
+
+void Registry::write_json(std::ostream& os) const {
+  const Snapshot snap = snapshot();
+  JsonWriter w(os);
+  w.begin_object();
+  w.key("metrics").begin_array();
+  for (const MetricSample& s : snap) {
+    w.begin_object();
+    w.kv("name", s.name);
+    switch (s.kind) {
+      case MetricSample::Kind::kCounter:
+        w.kv("type", "counter").kv("value", s.value);
+        break;
+      case MetricSample::Kind::kGauge:
+        w.kv("type", "gauge").kv("value", s.value);
+        break;
+      case MetricSample::Kind::kHistogram:
+        w.kv("type", "histogram")
+            .kv("count", s.value)
+            .kv("sum", s.sum)
+            .kv("mean", s.mean)
+            .kv("p50_bound", s.p50)
+            .kv("p99_bound", s.p99);
+        break;
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  os << '\n';
+}
+
+}  // namespace wlp::obs

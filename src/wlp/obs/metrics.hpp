@@ -1,0 +1,188 @@
+// Metrics registry: counters, gauges and log-scaled histograms with a
+// process-wide name registry and pluggable live providers.
+//
+// Update paths are wait-free (one relaxed atomic RMW); registration is the
+// only locked operation and instrumentation sites amortize it to zero with
+// a function-local static reference:
+//
+//   static obs::Counter& c = obs::Registry::instance().counter("wlp.x.y");
+//   c.add();
+//
+// (which is exactly what the WLP_OBS_* macros in obs.hpp expand to).
+//
+// Naming scheme: dot-separated `wlp.<subsystem>.<quantity>`, e.g.
+// `wlp.pool.launches`, `wlp.doall.claims`, `wlp.spec.pd_fail`,
+// `wlp.window.span` — see README "Observability" for the full inventory.
+//
+// Providers bridge component-local instrumentation into snapshots without
+// double-counting on the hot path: a live ThreadPool registers a callback
+// that contributes its PoolStats counters under `wlp.pool.*`; when the pool
+// dies it unregisters and folds its final values into registry counters, so
+// lifetime totals survive the pool.
+//
+// Histograms are log2-bucketed: value v lands in bucket bit_width(v)
+// (bucket b covers [2^(b-1), 2^b)), 65 buckets cover the whole uint64
+// range.  That is the right shape for the quantities the runtime observes —
+// undo volumes, overshoot depths, claim sizes, wait durations — which vary
+// over orders of magnitude.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wlp::obs {
+
+/// Global toggle for the WLP_OBS_* metric macros (tracing has its own in
+/// trace.hpp).  Metrics default ON: one relaxed add per event.
+bool metrics_enabled() noexcept;
+void set_metrics_enabled(bool on) noexcept;
+
+class Counter {
+ public:
+  void add(std::uint64_t d = 1) noexcept {
+    v_.fetch_add(d, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  alignas(64) std::atomic<std::uint64_t> v_{0};
+};
+
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept { v_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t d) noexcept { v_.fetch_add(d, std::memory_order_relaxed); }
+  std::int64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  alignas(64) std::atomic<std::int64_t> v_{0};
+};
+
+class Histogram {
+ public:
+  static constexpr int kBuckets = 65;  ///< bucket b: [2^(b-1), 2^b), b=0 is {0}
+
+  void record(std::uint64_t v) noexcept {
+    buckets_[bucket_of(v)].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  static int bucket_of(std::uint64_t v) noexcept { return std::bit_width(v); }
+  /// Upper bound (inclusive) of bucket b's value range.
+  static std::uint64_t bucket_bound(int b) noexcept {
+    return b == 0 ? 0 : (b >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << b) - 1);
+  }
+
+  std::uint64_t count() const noexcept {
+    std::uint64_t n = 0;
+    for (const auto& b : buckets_) n += b.load(std::memory_order_relaxed);
+    return n;
+  }
+  std::uint64_t sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  double mean() const noexcept {
+    const std::uint64_t n = count();
+    return n ? static_cast<double>(sum()) / static_cast<double>(n) : 0.0;
+  }
+  std::uint64_t bucket_count(int b) const noexcept {
+    return buckets_[b].load(std::memory_order_relaxed);
+  }
+
+  /// Smallest bucket upper bound below which at least `q` (0..1] of the
+  /// recorded values fall — a log2-resolution quantile.
+  std::uint64_t quantile_bound(double q) const noexcept {
+    const std::uint64_t n = count();
+    if (n == 0) return 0;
+    const auto target = static_cast<std::uint64_t>(q * static_cast<double>(n));
+    std::uint64_t acc = 0;
+    for (int b = 0; b < kBuckets; ++b) {
+      acc += buckets_[b].load(std::memory_order_relaxed);
+      if (acc >= target && acc > 0) return bucket_bound(b);
+    }
+    return bucket_bound(kBuckets - 1);
+  }
+
+  void reset() noexcept {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> buckets_[kBuckets]{};
+  alignas(64) std::atomic<std::uint64_t> sum_{0};
+};
+
+/// One flattened sample in a snapshot.
+struct MetricSample {
+  enum class Kind { kCounter, kGauge, kHistogram };
+  std::string name;
+  Kind kind = Kind::kCounter;
+  std::int64_t value = 0;       ///< counter/gauge value; histogram count
+  std::uint64_t sum = 0;        ///< histogram only
+  double mean = 0;              ///< histogram only
+  std::uint64_t p50 = 0, p99 = 0;  ///< histogram log2 quantile bounds
+};
+
+using Snapshot = std::vector<MetricSample>;
+
+/// A provider contributes live samples (e.g. a ThreadPool's PoolStats) to
+/// every snapshot while registered.
+using Provider = std::function<void(Snapshot&)>;
+
+class Registry {
+ public:
+  static Registry& instance();
+
+  /// Look up or create.  The returned reference is valid for the process
+  /// lifetime; kind mismatches on the same name are a programming error and
+  /// return the existing metric of the registered kind's storage (asserted
+  /// in debug builds).
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  int add_provider(Provider p);
+  void remove_provider(int id);
+
+  /// Flatten everything (owned metrics + providers), sorted by name.
+  Snapshot snapshot() const;
+
+  /// Reset owned counters/gauges/histograms (providers are live views and
+  /// are not touched).
+  void reset();
+
+  /// Write the snapshot as JSON: {"metrics": [{...}, ...]}.
+  void write_json(std::ostream& os) const;
+
+ private:
+  Registry() = default;
+
+  struct Entry {
+    std::unique_ptr<Counter> c;
+    std::unique_ptr<Gauge> g;
+    std::unique_ptr<Histogram> h;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry, std::less<>> metrics_;
+  std::vector<std::pair<int, Provider>> providers_;
+  int next_provider_id_ = 1;
+};
+
+}  // namespace wlp::obs

@@ -1,0 +1,151 @@
+#include "wlp/obs/trace.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <fstream>
+
+#include "wlp/support/json.hpp"
+
+namespace wlp::obs {
+
+namespace {
+
+std::uint64_t wall_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// Each thread caches its ring pointer; the registry owns the ring, so the
+// pointer stays valid after the thread exits (nobody reads it then) and
+// after clear() (which resets heads, never deallocates).
+thread_local TraceRing* tl_ring = nullptr;
+
+}  // namespace
+
+std::vector<TraceEvent> TraceRing::snapshot() const {
+  const std::uint64_t h = head_.load(std::memory_order_acquire);
+  const std::uint64_t n = std::min<std::uint64_t>(h, slots_.size());
+  std::vector<TraceEvent> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t k = h - n; k < h; ++k)
+    out.push_back(slots_[k & mask_]);
+  return out;
+}
+
+Tracer::Tracer() {
+  anchor_ticks_ = ticks();
+  anchor_ns_ = wall_ns();
+}
+
+Tracer& Tracer::instance() {
+  static Tracer t;
+  return t;
+}
+
+TraceRing& Tracer::ring() {
+  if (tl_ring) return *tl_ring;
+  std::lock_guard lock(mu_);
+  const auto tid = static_cast<std::uint32_t>(rings_.size());
+  rings_.push_back(std::make_unique<TraceRing>(tid, capacity_));
+  tl_ring = rings_.back().get();
+  return *tl_ring;
+}
+
+void Tracer::set_ring_capacity(std::size_t events) {
+  std::lock_guard lock(mu_);
+  capacity_ = std::bit_ceil(std::max<std::size_t>(events, 8));
+}
+
+std::uint64_t Tracer::dropped() const {
+  std::lock_guard lock(mu_);
+  std::uint64_t d = 0;
+  for (const auto& r : rings_) {
+    const std::uint64_t e = r->emitted();
+    if (e > r->capacity()) d += e - r->capacity();
+  }
+  return d;
+}
+
+std::uint64_t Tracer::emitted() const {
+  std::lock_guard lock(mu_);
+  std::uint64_t e = 0;
+  for (const auto& r : rings_) e += r->emitted();
+  return e;
+}
+
+void Tracer::clear() {
+  std::lock_guard lock(mu_);
+  for (auto& r : rings_) r->clear();
+}
+
+double Tracer::ns_per_tick() const {
+  const std::uint64_t dt = ticks() - anchor_ticks_;
+  const std::uint64_t dn = wall_ns() - anchor_ns_;
+  if (dt == 0 || dn == 0) return 1.0;
+  return static_cast<double>(dn) / static_cast<double>(dt);
+}
+
+std::vector<TraceEvent> Tracer::snapshot_events() const {
+  std::lock_guard lock(mu_);
+  std::vector<TraceEvent> out;
+  for (const auto& r : rings_) {
+    auto v = r->snapshot();
+    out.insert(out.end(), v.begin(), v.end());
+  }
+  return out;
+}
+
+void Tracer::export_chrome(std::ostream& os) const {
+  const double npt = ns_per_tick();
+  std::lock_guard lock(mu_);
+  JsonWriter w(os, /*pretty=*/false);
+  w.begin_object();
+  w.key("traceEvents").begin_array();
+  for (const auto& r : rings_) {
+    for (const TraceEvent& e : r->snapshot()) {
+      // Chrome expects microsecond timestamps relative to any common zero;
+      // we anchor at tracer construction so traces start near t=0.
+      const double ts_us =
+          static_cast<double>(e.start - anchor_ticks_) * npt / 1e3;
+      w.begin_object();
+      w.kv("name", e.name ? e.name : "?");
+      w.kv("cat", "wlp");
+      w.key("ph").value(std::string_view(&e.ph, 1));
+      w.kv("pid", 1);
+      w.kv("tid", r->tid());
+      w.kv("ts", ts_us);
+      if (e.ph == 'X') w.kv("dur", static_cast<double>(e.dur) * npt / 1e3);
+      if (e.ph == 'i') w.kv("s", "t");  // instant scope: thread
+      w.key("args").begin_object();
+      if (e.ph == 'C') {
+        w.kv("value", e.arg0);
+      } else {
+        w.kv("a0", e.arg0);
+        w.kv("a1", e.arg1);
+      }
+      w.end_object();
+      w.end_object();
+    }
+  }
+  w.end_array();
+  w.kv("displayTimeUnit", "ns");
+  std::uint64_t d = 0;
+  for (const auto& r : rings_) {
+    const std::uint64_t e = r->emitted();
+    if (e > r->capacity()) d += e - r->capacity();
+  }
+  w.kv("wlp_dropped_events", d);
+  w.end_object();
+  os << '\n';
+}
+
+bool Tracer::write_chrome(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  export_chrome(f);
+  return f.good();
+}
+
+}  // namespace wlp::obs

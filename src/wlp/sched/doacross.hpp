@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "wlp/obs/obs.hpp"
 #include "wlp/sched/thread_pool.hpp"
 #include "wlp/support/backoff.hpp"
 
@@ -29,12 +30,15 @@ enum class SeqFlag : std::uint8_t { kPending = 0, kGo = 1, kStop = 2 };
 
 // Wait for iteration i-1's completion flag with the shared escalating
 // backoff (pause bursts, then yield) — the flag's writers don't notify, so
-// this waiter never parks.
-inline void spin_until_set(const std::atomic<std::uint8_t>& flag) {
-  spin_until([&] {
-    return flag.load(std::memory_order_acquire) !=
-           static_cast<std::uint8_t>(SeqFlag::kPending);
-  });
+// this waiter never parks.  Returns the number of backoff rounds burned
+// (0 = the flag was already set), the pipeline-stall figure the
+// wlp.doacross.wait_rounds histogram accumulates.
+inline unsigned spin_until_set(const std::atomic<std::uint8_t>& flag) {
+  Backoff b;
+  while (flag.load(std::memory_order_acquire) ==
+         static_cast<std::uint8_t>(SeqFlag::kPending))
+    b.pause();
+  return b.rounds();
 }
 
 }  // namespace detail
@@ -61,11 +65,17 @@ DoacrossResult doacross_while(ThreadPool& pool, long max_iters, Seq&& seq,
   std::atomic<long> next{0};
   std::atomic<long> trip{max_iters};
 
+  WLP_TRACE_SCOPE("doacross.run", max_iters, pool.size());
   pool.parallel([&](unsigned vpn) {
     for (;;) {
       const long i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= max_iters) return;
-      detail::spin_until_set(flag[static_cast<std::size_t>(i)]);
+      {
+        WLP_TRACE_SCOPE("doacross.wait", i, vpn);
+        [[maybe_unused]] const unsigned rounds =
+            detail::spin_until_set(flag[static_cast<std::size_t>(i)]);
+        WLP_OBS_HIST("wlp.doacross.wait_rounds", rounds);
+      }
       const auto prev = static_cast<SeqFlag>(
           flag[static_cast<std::size_t>(i)].load(std::memory_order_acquire));
       if (prev == SeqFlag::kStop) {
@@ -87,7 +97,10 @@ DoacrossResult doacross_while(ThreadPool& pool, long max_iters, Seq&& seq,
     }
   });
 
-  return {trip.load(std::memory_order_acquire)};
+  const long t = trip.load(std::memory_order_acquire);
+  WLP_OBS_COUNT("wlp.doacross.runs", 1);
+  WLP_OBS_COUNT("wlp.doacross.iters", t);
+  return {t};
 }
 
 /// Wu & Lewis' other scheme ("naive loop distribution", Section 3.3/10):

@@ -24,6 +24,7 @@
 #include <atomic>
 #include <limits>
 
+#include "wlp/obs/obs.hpp"
 #include "wlp/sched/thread_pool.hpp"
 #include "wlp/support/cacheline.hpp"
 
@@ -123,6 +124,7 @@ QuitResult doall_quit_impl(ThreadPool& pool, long lo, long u, Body&& body,
           const long base = next.fetch_add(chunk, std::memory_order_relaxed);
           if (base >= u || cut(base)) return;
           ++local_claims[vpn];
+          WLP_TRACE_SCOPE("claim", base, chunk);
           const long end = std::min(base + chunk, u);
           for (long i = base; i < end; ++i) {
             if (cut(i) && i > base) return;  // chunk interior: stop early
@@ -142,6 +144,7 @@ QuitResult doall_quit_impl(ThreadPool& pool, long lo, long u, Body&& body,
           } while (!next.compare_exchange_weak(base, base + take,
                                                std::memory_order_relaxed));
           ++local_claims[vpn];
+          WLP_TRACE_SCOPE("claim", base, take);
           const long end = std::min(base + take, u);
           for (long i = base; i < end; ++i) {
             if (cut(i) && i > base) return;  // chunk interior: stop early
@@ -153,6 +156,7 @@ QuitResult doall_quit_impl(ThreadPool& pool, long lo, long u, Body&& body,
     case Sched::kStaticCyclic:
       pool.parallel([&](unsigned vpn) {
         if (lo + vpn < u) ++local_claims[vpn];
+        WLP_TRACE_SCOPE("claim", lo + vpn, u - lo);
         for (long i = lo + vpn; i < u; i += p) {
           if (cut(i)) return;
           run_iter(i, vpn);
@@ -166,6 +170,7 @@ QuitResult doall_quit_impl(ThreadPool& pool, long lo, long u, Body&& body,
         const long b = lo + static_cast<long>(vpn) * blk;
         const long e = std::min(b + blk, u);
         if (b < e) ++local_claims[vpn];
+        WLP_TRACE_SCOPE("claim", b, e - b);
         for (long i = b; i < e; ++i) {
           if (cut(i)) return;
           run_iter(i, vpn);
@@ -181,6 +186,12 @@ QuitResult doall_quit_impl(ThreadPool& pool, long lo, long u, Body&& body,
   r.trip = std::min(min_candidate, u);
   r.started = local_started.reduce(0L, [](long a, long b) { return a + b; });
   r.claims = local_claims.reduce(0L, [](long a, long b) { return a + b; });
+  // Aggregated once per DOALL (never per iteration): the claim-contention
+  // and overshoot figures the cost model's schedule choice is judged by.
+  WLP_OBS_COUNT("wlp.doall.runs", 1);
+  WLP_OBS_COUNT("wlp.doall.claims", r.claims);
+  WLP_OBS_COUNT("wlp.doall.started", r.started);
+  WLP_OBS_HIST("wlp.doall.overshoot", std::max(0L, r.started - r.trip));
   return r;
 }
 

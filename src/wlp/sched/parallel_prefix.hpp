@@ -11,6 +11,7 @@
 #include <span>
 #include <vector>
 
+#include "wlp/obs/obs.hpp"
 #include "wlp/sched/thread_pool.hpp"
 #include "wlp/support/cacheline.hpp"
 
@@ -26,6 +27,9 @@ void parallel_inclusive_scan(ThreadPool& pool, std::span<T> xs, T id, Op op) {
   if (n == 0) return;
   const unsigned p = pool.size();
   const long blk = (n + p - 1) / p;
+  WLP_TRACE_SCOPE("prefix.scan", n, p);
+  WLP_OBS_COUNT("wlp.prefix.scans", 1);
+  WLP_OBS_HIST("wlp.prefix.n", n);
 
   PerWorker<T> block_sum(p, id);
   pool.parallel([&](unsigned vpn) {

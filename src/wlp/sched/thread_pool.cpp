@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "wlp/obs/obs.hpp"
 #include "wlp/support/backoff.hpp"
 
 #if defined(__linux__)
@@ -91,6 +92,27 @@ ThreadPool::ThreadPool(unsigned n) {
   threads_.reserve(n - 1);
   for (unsigned widx = 1; widx < n; ++widx)
     threads_.emplace_back([this, widx] { worker_main(widx); });
+
+#if defined(WLP_OBS_ENABLED)
+  // Live view: each snapshot pulls this pool's counters.  The provider must
+  // not call back into the registry (it runs under the registry lock), so
+  // it only reads our atomics.
+  obs_provider_ = obs::Registry::instance().add_provider([this](obs::Snapshot& out) {
+    const PoolStats s = stats();
+    auto push = [&out](const char* name, std::uint64_t v) {
+      obs::MetricSample m;
+      m.name = name;
+      m.kind = obs::MetricSample::Kind::kCounter;
+      m.value = static_cast<std::int64_t>(v);
+      out.push_back(std::move(m));
+    };
+    push("wlp.pool.launches", s.launches);
+    push("wlp.pool.inline_launches", s.inline_launches);
+    push("wlp.pool.spin_wakeups", s.spin_wakeups);
+    push("wlp.pool.park_wakeups", s.park_wakeups);
+    push("wlp.pool.stolen_shares", s.stolen_shares);
+  });
+#endif
 }
 
 ThreadPool::~ThreadPool() {
@@ -100,6 +122,20 @@ ThreadPool::~ThreadPool() {
   doorbell_.word.store(static_cast<std::uint32_t>(e), std::memory_order_seq_cst);
   wake(doorbell_.word, std::numeric_limits<int>::max());
   for (auto& t : threads_) t.join();
+
+#if defined(WLP_OBS_ENABLED)
+  if (obs_provider_ != 0) {
+    obs::Registry::instance().remove_provider(obs_provider_);
+    // Fold the dying pool's totals into owned counters of the same names,
+    // so lifetime totals survive (snapshots merge same-name counters).
+    const PoolStats s = stats();
+    WLP_OBS_COUNT("wlp.pool.launches", s.launches);
+    WLP_OBS_COUNT("wlp.pool.inline_launches", s.inline_launches);
+    WLP_OBS_COUNT("wlp.pool.spin_wakeups", s.spin_wakeups);
+    WLP_OBS_COUNT("wlp.pool.park_wakeups", s.park_wakeups);
+    WLP_OBS_COUNT("wlp.pool.stolen_shares", s.stolen_shares);
+  }
+#endif
 }
 
 PoolStats ThreadPool::stats() const {
@@ -129,6 +165,7 @@ void ThreadPool::reset_stats() {
 // the documented nested-launch guarantee.
 void ThreadPool::run_inline(detail::JobRef job) {
   inline_launches_.fetch_add(1, std::memory_order_relaxed);
+  WLP_TRACE_SCOPE("forkjoin.inline", nproc_, 0);
   CurrentPoolGuard guard(this);
   for (unsigned vpn = 0; vpn < nproc_; ++vpn) job(vpn);
 }
@@ -157,6 +194,7 @@ unsigned ThreadPool::try_claim(std::uint64_t epoch) noexcept {
 void ThreadPool::execute_share(unsigned vpn, std::uint64_t epoch) {
   std::exception_ptr err;
   {
+    WLP_TRACE_SCOPE("share", epoch, vpn);
     CurrentPoolGuard guard(this);
     try {
       job_(vpn);
@@ -182,6 +220,8 @@ void ThreadPool::run(detail::JobRef job) {
     return;
   }
   launches_.fetch_add(1, std::memory_order_relaxed);
+  WLP_TRACE_SCOPE("forkjoin", epoch_.load(std::memory_order_relaxed) + 1,
+                  nproc_);
 
   job_ = job;
   error_claimed_.store(false, std::memory_order_relaxed);
@@ -217,6 +257,7 @@ void ThreadPool::run(detail::JobRef job) {
   bool parked = false;
   while (done_.word.load(std::memory_order_acquire) != target) {
     if (backoff.should_park()) {
+      WLP_TRACE_INSTANT("park.join", e, 0);
       join_parked_.store(1, std::memory_order_seq_cst);
       if (done_.word.load(std::memory_order_seq_cst) != target)
         park_if(done_.word, static_cast<std::uint32_t>(e - 1));
@@ -241,6 +282,7 @@ void ThreadPool::worker_main(unsigned widx) {
     std::uint64_t e;
     while ((e = epoch_.load(std::memory_order_acquire)) == seen) {
       if (backoff.should_park()) {
+        WLP_TRACE_INSTANT("park.worker", widx, 0);
         const std::uint32_t bell = doorbell_.word.load(std::memory_order_seq_cst);
         start_parked_.fetch_add(1, std::memory_order_seq_cst);
         if (epoch_.load(std::memory_order_seq_cst) == seen)

@@ -5,6 +5,8 @@
 #include <queue>
 #include <stdexcept>
 
+#include "wlp/obs/obs.hpp"
+
 namespace wlp::sim {
 
 namespace {
@@ -270,6 +272,10 @@ SimResult Simulator::run(wlp::Method method, const LoopProfile& lp, unsigned p,
                          const SimOptions& opts) const {
   if (p == 0) throw std::invalid_argument("Simulator::run: p must be >= 1");
   SimResult r;
+  // Counts nested sub-runs too (strip/prefix methods re-enter run() per
+  // strip), which is exactly the figure-bench work the metric is after.
+  WLP_OBS_COUNT("wlp.sim.runs", 1);
+  WLP_TRACE_SCOPE("sim.run", static_cast<std::uint64_t>(method), p);
 
   auto cost = [this](const LoopProfile& l, long i, const SimOptions& o) {
     return iteration_cost(l, i, o);

@@ -1,0 +1,161 @@
+// Minimal streaming JSON writer — the one emitter behind every
+// machine-readable artifact the repo produces: BENCH_<name>.json files
+// (bench/bench_common.hpp, bench_micro_*), Chrome trace-event exports
+// (wlp/obs/trace.cpp) and metrics snapshots (wlp/obs/metrics.cpp).
+//
+// Design: a comma/nesting tracker over a std::ostream.  No DOM, no
+// allocation beyond the nesting stack, valid output by construction as long
+// as begin/end calls pair up (checked with asserts in debug builds).
+// Numbers are emitted with enough precision to round-trip doubles; strings
+// are escaped per RFC 8259.
+#pragma once
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wlp {
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os, bool pretty = true)
+      : os_(os), pretty_(pretty) {}
+
+  ~JsonWriter() { assert(stack_.empty() && "unclosed JSON scope"); }
+
+  JsonWriter& begin_object() { return open('{', Scope::kObject); }
+  JsonWriter& end_object() { return close('}', Scope::kObject); }
+  JsonWriter& begin_array() { return open('[', Scope::kArray); }
+  JsonWriter& end_array() { return close(']', Scope::kArray); }
+
+  /// Key inside an object; follow with a value or a begin_*.
+  JsonWriter& key(std::string_view k) {
+    assert(!stack_.empty() && stack_.back().scope == Scope::kObject);
+    separate();
+    write_string(k);
+    os_ << (pretty_ ? ": " : ":");
+    pending_key_ = true;
+    return *this;
+  }
+
+  JsonWriter& value(std::string_view v) {
+    separate();
+    write_string(v);
+    return *this;
+  }
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(bool v) {
+    separate();
+    os_ << (v ? "true" : "false");
+    return *this;
+  }
+  JsonWriter& value(double v) {
+    separate();
+    if (!std::isfinite(v)) {
+      os_ << "null";  // JSON has no Inf/NaN
+    } else {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%.17g", v);
+      os_ << buf;
+    }
+    return *this;
+  }
+  JsonWriter& value(long long v) {
+    separate();
+    os_ << v;
+    return *this;
+  }
+  JsonWriter& value(unsigned long long v) {
+    separate();
+    os_ << v;
+    return *this;
+  }
+  JsonWriter& value(int v) { return value(static_cast<long long>(v)); }
+  JsonWriter& value(long v) { return value(static_cast<long long>(v)); }
+  JsonWriter& value(unsigned v) { return value(static_cast<unsigned long long>(v)); }
+  JsonWriter& value(unsigned long v) {
+    return value(static_cast<unsigned long long>(v));
+  }
+
+  /// key + scalar in one call: w.kv("n", 42)
+  template <class T>
+  JsonWriter& kv(std::string_view k, T v) {
+    key(k);
+    return value(v);
+  }
+
+ private:
+  enum class Scope { kObject, kArray };
+  struct Frame {
+    Scope scope;
+    bool first = true;
+  };
+
+  JsonWriter& open(char c, Scope s) {
+    separate();
+    os_ << c;
+    stack_.push_back({s, true});
+    return *this;
+  }
+
+  JsonWriter& close(char c, [[maybe_unused]] Scope s) {
+    assert(!stack_.empty() && stack_.back().scope == s);
+    const bool empty = stack_.back().first;
+    stack_.pop_back();
+    if (pretty_ && !empty) newline_indent();
+    os_ << c;
+    return *this;
+  }
+
+  /// Emit the comma/indentation before a value or key at the current level.
+  void separate() {
+    if (pending_key_) {  // value directly after key(): no comma
+      pending_key_ = false;
+      return;
+    }
+    if (stack_.empty()) return;
+    Frame& top = stack_.back();
+    if (!top.first) os_ << ',';
+    top.first = false;
+    if (pretty_) newline_indent();
+  }
+
+  void newline_indent() {
+    os_ << '\n';
+    for (std::size_t i = 0; i < stack_.size(); ++i) os_ << "  ";
+  }
+
+  void write_string(std::string_view s) {
+    os_ << '"';
+    for (char ch : s) {
+      switch (ch) {
+        case '"': os_ << "\\\""; break;
+        case '\\': os_ << "\\\\"; break;
+        case '\n': os_ << "\\n"; break;
+        case '\r': os_ << "\\r"; break;
+        case '\t': os_ << "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(ch) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+            os_ << buf;
+          } else {
+            os_ << ch;
+          }
+      }
+    }
+    os_ << '"';
+  }
+
+  std::ostream& os_;
+  bool pretty_;
+  bool pending_key_ = false;
+  std::vector<Frame> stack_;
+};
+
+}  // namespace wlp

@@ -58,3 +58,7 @@
 // Simulated multiprocessor (speedup reproduction).
 #include "wlp/sim/machine.hpp"         // IWYU pragma: export
 #include "wlp/sim/simulator.hpp"       // IWYU pragma: export
+
+// Observability: per-thread trace rings (Chrome trace export) + metrics
+// registry.  Instrumentation hooks compile away under WLP_OBS=OFF.
+#include "wlp/obs/obs.hpp"             // IWYU pragma: export

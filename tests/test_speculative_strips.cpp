@@ -165,8 +165,11 @@ TEST(SparseSpec, FailedSpeculationRestoresThroughBackup) {
   EXPECT_FALSE(r.pd_passed);
   EXPECT_TRUE(r.reexecuted_sequentially);
   EXPECT_EQ(state[7], 499.0);
-  for (std::size_t i = 0; i < state.size(); ++i)
-    if (i != 7) EXPECT_EQ(state[i], 3.0);
+  for (std::size_t i = 0; i < state.size(); ++i) {
+    if (i != 7) {
+      EXPECT_EQ(state[i], 3.0);
+    }
+  }
 }
 
 }  // namespace
