@@ -84,10 +84,11 @@ struct ExecState {
   std::vector<Padded<std::vector<LoggedWrite>>> logs;  // per worker
   StripedLocks store_locks;
 
-  // PD machinery for the plan's unknown-access arrays.
-  std::map<std::string, std::unique_ptr<PDShadow>> shadows;
+  // PD machinery for the plan's unknown-access arrays (privatized policy:
+  // each worker marks its own segment, merged at analyze time).
+  std::map<std::string, std::unique_ptr<PDPrivateShadow>> shadows;
   // accessors[worker][array]
-  std::vector<std::map<std::string, PDAccessor>> accessors;
+  std::vector<std::map<std::string, PDPrivateAccessor>> accessors;
 
   long limit_now(int s) const {
     return stmt_limit(s, loop->max_iters, fired);
@@ -275,9 +276,11 @@ PlanExecution run_parallel_plan(ThreadPool& pool, const Loop& loop,
   for (const std::string& a : plan.pd_arrays) {
     const auto it = env.arrays.find(a);
     if (it == env.arrays.end()) continue;
-    st.shadows[a] = std::make_unique<PDShadow>(it->second.size());
+    st.shadows[a] =
+        std::make_unique<PDPrivateShadow>(it->second.size(), pool.size());
     for (unsigned w = 0; w < pool.size(); ++w)
-      st.accessors[w].emplace(a, PDAccessor(*st.shadows[a], it->second.size()));
+      st.accessors[w].emplace(
+          a, PDPrivateAccessor(*st.shadows[a], it->second.size(), w));
   }
 
   // ---- execute the plan's steps in order ------------------------------------

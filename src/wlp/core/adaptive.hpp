@@ -35,6 +35,11 @@ class LoopStatistics {
       ++speculations_;
       if (!r.pd_passed) ++failures_;
     }
+    if (r.pd_tested) {
+      // Measured instrumentation volume: feeds observed_profile()'s `a`.
+      marks_sum_ += r.shadow_marks;
+      marked_iters_ += std::max(r.started, r.trip);
+    }
     WLP_OBS_HIST("wlp.adaptive.trip", r.trip);
   }
 
@@ -101,6 +106,25 @@ class LoopStatistics {
                            iter_cost_cv(), p);
   }
 
+  /// Shadow marks per executed iteration, measured across PD-tested runs
+  /// (ExecReport::shadow_marks).  This is the paper's `a` expressed per
+  /// iteration — but *observed*, so the accessor's last-writer filtering and
+  /// the loop's real access pattern are already folded in.
+  double marks_per_iteration() const noexcept {
+    if (marked_iters_ <= 0) return 0.0;
+    return static_cast<double>(marks_sum_) /
+           static_cast<double>(marked_iters_);
+  }
+
+  /// Section 7 OverheadProfile built from what this site actually did:
+  /// measured marks/iteration scaled by the trip estimate.
+  OverheadProfile observed_profile(bool pd_test = true, bool needs_undo = true,
+                                   double access_cost = 1.0) const {
+    return observed_overheads(marks_per_iteration(),
+                              static_cast<double>(estimated_trip()), pd_test,
+                              needs_undo, access_cost);
+  }
+
   /// Empirical probability a speculation on this loop succeeds.
   double parallel_probability() const noexcept {
     if (speculations_ == 0) return 1.0;  // optimistic until contradicted
@@ -114,12 +138,24 @@ class LoopStatistics {
     return expected_speculative_speedup(pred, parallel_probability()) > 1.05;
   }
 
+  /// Fully history-driven go/no-go: the prediction itself is built from the
+  /// site's measured marks/iteration (observed_profile) rather than a
+  /// compiler estimate of the access count, then weighted by the observed
+  /// pass/fail record as above.
+  bool should_speculate(const LoopTiming& t, unsigned p,
+                        DispatcherParallelism dp) const {
+    const Prediction pred = predict(t, observed_profile(), p, dp);
+    return expected_speculative_speedup(pred, parallel_probability()) > 1.05;
+  }
+
  private:
   long invocations_ = 0;
   long trip_sum_ = 0;
   long trip_max_ = 0;
   long speculations_ = 0;
   long failures_ = 0;
+  long marks_sum_ = 0;
+  long marked_iters_ = 0;
   long cost_samples_ = 0;
   double cost_mean_ = 0;
   double cost_m2_ = 0;

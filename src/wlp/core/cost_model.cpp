@@ -75,6 +75,18 @@ Prediction predict(const LoopTiming& t, const OverheadProfile& o, unsigned p,
   return pr;
 }
 
+OverheadProfile observed_overheads(double marks_per_iteration,
+                                   double expected_trip, bool pd_test,
+                                   bool needs_undo, double access_cost) {
+  OverheadProfile o;
+  o.accesses = static_cast<long>(std::max(0.0, marks_per_iteration) *
+                                 std::max(0.0, expected_trip));
+  o.access_cost = access_cost;
+  o.pd_test = pd_test;
+  o.needs_undo = needs_undo;
+  return o;
+}
+
 double BranchStats::exit_probability() const noexcept {
   const long total = exit_taken + exit_not_taken;
   if (total <= 0) return 0.0;

@@ -75,6 +75,16 @@ Prediction predict(const LoopTiming& t, const OverheadProfile& o, unsigned p,
                    DispatcherParallelism dp, double min_speedup = 1.05,
                    double log_p_cost = 1.0);
 
+/// Build an OverheadProfile from MEASURED instrumentation volume instead of
+/// a compiler estimate of `a`: `marks_per_iteration` is the shadow marks the
+/// runtime actually recorded per executed iteration (ExecReport::shadow_marks
+/// over started iterations — the accessor's last-writer filter means this is
+/// usually well below the static access count), and `expected_trip` the
+/// trip estimate the prediction is being made for.
+OverheadProfile observed_overheads(double marks_per_iteration,
+                                   double expected_trip, bool pd_test,
+                                   bool needs_undo, double access_cost = 1.0);
+
 /// Branch statistics for the termination condition (Section 7: "the
 /// compiler could predict the number of iterations using branch statistics").
 struct BranchStats {

@@ -46,6 +46,7 @@ struct ExecReport {
   long started = 0;   ///< iteration bodies that actually executed
   long overshot = 0;  ///< bodies executed with index >= trip (to be undone)
   long undone_writes = 0;  ///< memory locations restored after the run
+  long shadow_marks = 0;   ///< PD shadow marks recorded during the run
   long dispatcher_steps = 0;  ///< total recurrence evaluations (hops) across
                               ///< all processors; ~trip for General-1/3,
                               ///< ~p*trip for General-2

@@ -25,14 +25,34 @@
 // — a same-iteration read-then-write like A[i] = 2*A[i] (the paper's
 // Fig. 5(a)) leaves w0 == r0 as the only marks and correctly passes.
 //
-// The analysis itself is fully parallel, O(n/p + log p).
+// Two implementations of the marking store exist, selectable per speculation
+// target (SpecArray<T, Shadow> et al.); both run the same fully parallel
+// O(n/p + log p) analysis:
+//
+//   * PDSharedShadow — one cell array shared by all workers; every mark
+//     pays atomic loads plus a striped spinlock.  Kept as the A/B baseline
+//     the benches compare against, and for callers that mark without a
+//     stable worker id.
+//   * PDPrivateShadow — one cache-line-disjoint cell segment per worker;
+//     marks are PLAIN stores into the worker's own segment (no atomics, no
+//     locks), and analyze() merges the per-worker two-smallest sets
+//     cell-block-wise.  The two-smallest set is a semilattice under that
+//     merge (see DESIGN.md §5), so moving the combine into the post-pass is
+//     exact.  reset() is an O(1) epoch bump: cells stamped with an older
+//     generation are treated as unmarked at merge time, so strip /
+//     run-twice / sliding-window retries stop paying an O(n) sweep.
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <memory>
 #include <vector>
 
+#include "wlp/obs/obs.hpp"
 #include "wlp/sched/thread_pool.hpp"
 
 namespace wlp {
@@ -58,12 +78,27 @@ struct PDVerdict {
   }
 };
 
-class PDShadow {
- public:
-  explicit PDShadow(std::size_t n);
+/// Bookkeeping counters the allocation-regression tests assert on: how many
+/// O(n) costs a shadow has actually paid.
+struct PDShadowStats {
+  long resets = 0;          ///< reset() calls
+  long cell_sweeps = 0;     ///< O(n) full-cell sweeps performed by reset()
+  long segment_allocs = 0;  ///< per-worker segment allocations (lazy)
+};
 
-  PDShadow(const PDShadow&) = delete;
-  PDShadow& operator=(const PDShadow&) = delete;
+/// The original shared-cell shadow: every mark does atomic loads plus a
+/// striped spinlock on a cache line contended by all workers.  Retained
+/// behind the policy switch as the A/B baseline and for vpn-less callers.
+class PDSharedShadow {
+ public:
+  static constexpr const char* kPolicyName = "shared";
+
+  explicit PDSharedShadow(std::size_t n);
+  /// Uniform policy constructor (the worker count is irrelevant here).
+  PDSharedShadow(std::size_t n, unsigned /*workers*/) : PDSharedShadow(n) {}
+
+  PDSharedShadow(const PDSharedShadow&) = delete;
+  PDSharedShadow& operator=(const PDSharedShadow&) = delete;
 
   std::size_t size() const noexcept { return cells_.size(); }
 
@@ -73,11 +108,40 @@ class PDShadow {
   /// Mark an exposed read (no earlier same-iteration write) of `idx`.
   void mark_exposed_read(long iter, std::size_t idx) noexcept;
 
+  /// Uniform marking API: the shared store ignores the worker id.
+  void mark_write(unsigned /*vpn*/, long iter, std::size_t idx) noexcept {
+    mark_write(iter, idx);
+  }
+  void mark_exposed_read(unsigned /*vpn*/, long iter, std::size_t idx) noexcept {
+    mark_exposed_read(iter, idx);
+  }
+
+  /// Worker-bound marking view (uniform policy API).  The shared store has
+  /// no per-worker state to cache, so this just forwards.
+  class Marker {
+   public:
+    Marker() = default;
+    void mark_write(long iter, std::size_t idx) noexcept {
+      shadow_->mark_write(iter, idx);
+    }
+    void mark_exposed_read(long iter, std::size_t idx) noexcept {
+      shadow_->mark_exposed_read(iter, idx);
+    }
+    void rebind() noexcept {}
+
+   private:
+    friend class PDSharedShadow;
+    explicit Marker(PDSharedShadow* s) noexcept : shadow_(s) {}
+    PDSharedShadow* shadow_ = nullptr;
+  };
+  Marker marker(unsigned /*vpn*/) noexcept { return Marker(this); }
+
   /// Post-execution analysis considering only iterations < trip.
   PDVerdict analyze(ThreadPool& pool, long trip) const;
   PDVerdict analyze_seq(long trip) const;
 
-  /// Clear all marks (reuse across strips / runs).
+  /// Clear all marks (reuse across strips / runs).  O(n) sweep — the cost
+  /// the privatized policy's epoch bump exists to remove.
   void reset() noexcept;
 
   /// Diagnostic accessors (tests).
@@ -85,6 +149,8 @@ class PDShadow {
   long second_writer(std::size_t idx) const noexcept;
   long first_exposed_reader(std::size_t idx) const noexcept;
   long second_exposed_reader(std::size_t idx) const noexcept;
+
+  PDShadowStats stats() const noexcept { return stats_; }
 
  private:
   static constexpr long kNone = -1;
@@ -107,36 +173,307 @@ class PDShadow {
   void unlock_stripe(std::size_t idx) noexcept;
 
   std::vector<Cell> cells_;
+  PDShadowStats stats_;
   static constexpr std::size_t kStripes = 1024;
   mutable std::array<std::atomic_flag, kStripes> locks_{};
 };
 
-/// Per-worker access recorder: decides read exposure using a worker-local
-/// last-writer epoch array, then forwards marks to the shared shadow.
-/// One accessor per (array, worker); call begin_iteration before each
-/// iteration's accesses.
-class PDAccessor {
+/// The privatized shadow: worker `vpn` marks into its own segment with
+/// plain stores; analyze() merges segments cell-wise under the current
+/// epoch.  Segments are allocated lazily on a worker's first mark and then
+/// reused for the life of the shadow (pooled by vpn), so a speculation that
+/// never runs the PD test — or runs on fewer workers than the pool has —
+/// pays nothing for the idle segments.
+///
+/// Concurrency contract: marks for one vpn come from one thread at a time
+/// (the pool hands each vpn share to exactly one thread), and analyze() /
+/// reset() run only while no marking is in flight (the fork-join barrier
+/// provides the happens-before edge).  That is exactly the contract the
+/// speculative drivers already obey, and it is what lets the hot path be
+/// synchronization-free.
+class PDPrivateShadow {
  public:
-  PDAccessor(PDShadow& shadow, std::size_t n)
-      : shadow_(&shadow), last_write_(n, -1) {}
+  static constexpr const char* kPolicyName = "privatized";
+
+  /// Empty-cell sentinel: +infinity orders after every real iteration, so
+  /// the merge and the `< trip` filters need no empty-checks.  (Marks with
+  /// iter == LONG_MAX are not representable; no caller produces them.)
+  static constexpr long kEmpty = std::numeric_limits<long>::max();
+
+  explicit PDPrivateShadow(std::size_t n, unsigned workers = 1)
+      : n_(n), segs_(workers == 0 ? 1 : workers) {}
+
+  PDPrivateShadow(const PDPrivateShadow&) = delete;
+  PDPrivateShadow& operator=(const PDPrivateShadow&) = delete;
+
+  std::size_t size() const noexcept { return n_; }
+  unsigned workers() const noexcept { return static_cast<unsigned>(segs_.size()); }
+
+  void mark_write(unsigned vpn, long iter, std::size_t idx) noexcept {
+    marker(vpn).mark_write(iter, idx);
+  }
+
+  void mark_exposed_read(unsigned vpn, long iter, std::size_t idx) noexcept {
+    marker(vpn).mark_exposed_read(iter, idx);
+  }
+
+  /// Single-threaded convenience (tests, sequential probes): worker 0.
+  void mark_write(long iter, std::size_t idx) noexcept { mark_write(0, iter, idx); }
+  void mark_exposed_read(long iter, std::size_t idx) noexcept {
+    mark_exposed_read(0, iter, idx);
+  }
+
+ private:
+  struct PrivCell;  // defined below; Markers hold raw pointers to them
+  struct Segment;
+
+ public:
+  /// Worker-bound marking view: caches the segment's raw cell/gen pointers
+  /// and the epoch stamp, so the per-mark path is one dense-gen compare
+  /// plus plain stores — no segs_ vector walk, no unique_ptr deref, and
+  /// nothing the optimizer must conservatively reload per call.
+  ///
+  /// A Marker is INVALIDATED by reset(): marks made through a stale view
+  /// would carry the old epoch and be silently ignored by analyze().  Call
+  /// rebind() after every shadow reset (PDAccessorT::reset() does; every
+  /// driver resets the shadow before its accessors).
+  class Marker {
+   public:
+    Marker() = default;
+
+    void mark_write(long iter, std::size_t idx) noexcept {
+      if (cells_ == nullptr) bind();  // cold: first mark through this view
+      PrivCell& c = cells_[idx];
+      if (gens_[idx] != epoch_) {  // first mark since reset: fused init
+        gens_[idx] = epoch_;
+        c.w0 = iter;
+        c.w1 = c.r0 = c.r1 = kEmpty;
+        return;
+      }
+      insert2(c.w0, c.w1, iter);
+    }
+
+    void mark_exposed_read(long iter, std::size_t idx) noexcept {
+      if (cells_ == nullptr) bind();  // cold: first mark through this view
+      PrivCell& c = cells_[idx];
+      if (gens_[idx] != epoch_) {  // first mark since reset: fused init
+        gens_[idx] = epoch_;
+        c.r0 = iter;
+        c.w0 = c.w1 = c.r1 = kEmpty;
+        return;
+      }
+      insert2(c.r0, c.r1, iter);
+    }
+
+    /// Drop the cached epoch/pointers; the next mark re-snapshots them.
+    void rebind() noexcept { cells_ = nullptr; }
+
+   private:
+    friend class PDPrivateShadow;
+    Marker(PDPrivateShadow* s, unsigned vpn) noexcept
+        : shadow_(s), vpn_(vpn) {}
+
+    void bind() noexcept {
+      Segment* seg = shadow_->segs_[vpn_].get();
+      if (seg == nullptr) seg = shadow_->allocate_segment(vpn_);
+      cells_ = seg->cells.data();
+      gens_ = seg->gens.data();
+      epoch_ = shadow_->epoch_;
+    }
+
+    PDPrivateShadow* shadow_ = nullptr;
+    unsigned vpn_ = 0;
+    PrivCell* cells_ = nullptr;
+    std::uint32_t* gens_ = nullptr;
+    std::uint32_t epoch_ = 0;
+  };
+
+  Marker marker(unsigned vpn) noexcept { return Marker(this, vpn); }
+
+  /// Post-execution analysis considering only iterations < trip: merges the
+  /// per-worker two-smallest sets cell-block-wise (branch-light min/compare
+  /// kernel) and folds the verdicts — O(n·s/p) where s is the number of
+  /// segments actually marked into.
+  PDVerdict analyze(ThreadPool& pool, long trip) const;
+  PDVerdict analyze_seq(long trip) const;
+
+  /// O(1): stale-epoch cells are ignored at merge time and lazily
+  /// re-initialized on their next mark.  No sweep, independent of n.
+  /// (One sweep per 2^32 resets when the 32-bit stamp wraps; see
+  /// sweep_generations.)
+  void reset() noexcept {
+    if (++epoch_ == 0) sweep_generations();
+    ++resets_;
+    WLP_OBS_COUNT("wlp.pd.resets", 1);
+  }
+
+  /// Diagnostic accessors (tests): merged across segments, -1 = none.
+  long first_writer(std::size_t idx) const noexcept;
+  long second_writer(std::size_t idx) const noexcept;
+  long first_exposed_reader(std::size_t idx) const noexcept;
+  long second_exposed_reader(std::size_t idx) const noexcept;
+
+  PDShadowStats stats() const noexcept {
+    PDShadowStats s;
+    s.resets = resets_;
+    s.cell_sweeps = cell_sweeps_;  // 0 until the 32-bit stamp wraps
+    s.segment_allocs = segment_allocs_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+ private:
+  /// One worker's view of one element.  Plain (non-atomic) fields: only the
+  /// owning worker writes them, and the fork-join barrier publishes them to
+  /// the analysis.  Exactly half a cache line, so a cell never straddles
+  /// two lines; the generation stamps live in a separate dense array
+  /// (struct-of-arrays) so the analysis can skip a stale cell from a 16x
+  /// denser scan without streaming its payload.
+  struct PrivCell {
+    long w0, w1;  ///< two smallest distinct writer iterations
+    long r0, r1;  ///< two smallest distinct exposed-read iterations
+  };
+  struct Segment {
+    // Both zero-filled by the OS; gen 0 is below any epoch (epochs start
+    // at 1), so fresh segments are all-stale without an init pass.
+    explicit Segment(std::size_t n) : cells(n), gens(n) {}
+    std::vector<PrivCell> cells;
+    std::vector<std::uint32_t> gens;  ///< epoch each cell's marks belong to
+  };
+
+  /// Insert into a two-smallest set held as (lo <= hi, kEmpty-padded).
+  static void insert2(long& lo, long& hi, long iter) noexcept {
+    if (iter == lo || iter == hi) return;
+    if (iter < lo) {
+      hi = lo;
+      lo = iter;
+    } else if (iter < hi) {
+      hi = iter;
+    }
+  }
+
+  /// Merge two two-smallest sets: (lo, hi) <- two smallest distinct of the
+  /// union {lo, hi, b0, b1}.  Exact because each side already holds its two
+  /// smallest distinct values (the semilattice property).
+  static void merge2(long& lo, long& hi, long b0, long b1) noexcept {
+    if (b0 < lo) {
+      hi = b1 < lo ? b1 : lo;
+      lo = b0;
+    } else if (b0 > lo) {
+      hi = b0 < hi ? b0 : hi;
+    } else {  // equal minima: deduplicate
+      hi = b1 < hi ? b1 : hi;
+    }
+  }
+
+  Segment* allocate_segment(unsigned vpn);
+  void sweep_generations() noexcept;  ///< 32-bit stamp wrap: one sweep per 2^32 resets
+
+  struct Merged {
+    long w0 = kEmpty, w1 = kEmpty, r0 = kEmpty, r1 = kEmpty;
+  };
+  Merged merged_cell(std::size_t idx) const noexcept;
+
+  static PDVerdict verdict_of(const Merged& m, long trip) noexcept {
+    PDVerdict v;
+    const bool written = m.w0 < trip;  // kEmpty orders after every trip
+    const bool multi_w = m.w1 < trip;
+    const bool exposed = m.r0 < trip;
+    const bool multi_r = m.r1 < trip;
+    v.written_elements = written ? 1 : 0;
+    v.multi_written = multi_w ? 1 : 0;
+    v.exposed_read_elements = exposed ? 1 : 0;
+    // Cross-iteration flow/anti dependence: a writer and an exposed reader
+    // in DIFFERENT iterations (exact with two-smallest sets; see header).
+    v.conflicts = (written && exposed && (multi_w || multi_r || m.w0 != m.r0))
+                      ? 1
+                      : 0;
+    return v;
+  }
+
+  std::size_t n_ = 0;
+  std::uint32_t epoch_ = 1;  ///< current generation; 0 is reserved for "never"
+  // One slot per worker; each Segment is its own heap allocation, so two
+  // workers' hot cells can only share a cache line at segment boundaries,
+  // never in the middle of the marking range.
+  std::vector<std::unique_ptr<Segment>> segs_;
+  std::atomic<long> segment_allocs_{0};  ///< workers allocate concurrently
+  long resets_ = 0;
+  long cell_sweeps_ = 0;  ///< generation-wrap sweeps (one per 2^32 resets)
+};
+
+/// Per-worker access recorder: decides read exposure using a worker-local
+/// last-writer table, then forwards marks to the shadow under the worker's
+/// id.  One accessor per (array, worker); call begin_iteration before each
+/// iteration's accesses.
+///
+/// The last-writer table is generation-stamped exactly like the privatized
+/// shadow's cells: reset() is an O(1) bump that invalidates every entry, so
+/// reusing the accessor across strips, run-twice passes and sliding-window
+/// retries costs neither an allocation nor an O(n) refill.  (The one O(n)
+/// zero-fill happens at construction; fills() lets tests assert it stays 1.)
+template <class Shadow>
+class PDAccessorT {
+ public:
+  PDAccessorT(Shadow& shadow, std::size_t n, unsigned vpn = 0)
+      : shadow_(&shadow), marker_(shadow.marker(vpn)), vpn_(vpn),
+        lw_iter_(n, 0), lw_gen_(n, 0) {}
+
+  /// O(1): invalidate all last-write entries and the mark counter for a
+  /// fresh run.  Pairs with Shadow::reset() — every driver resets the
+  /// shadow first, so the marker re-snapshots the new epoch here.
+  void reset() noexcept {
+    marks_ = 0;
+    marker_.rebind();
+    if (++gen_ == 0) {  // 2^32 resets: clear so stale stamps cannot alias
+      std::fill(lw_gen_.begin(), lw_gen_.end(), 0u);
+      ++fills_;
+      gen_ = 1;
+    }
+  }
 
   void begin_iteration(long iter) noexcept { iter_ = iter; }
 
   void on_read(std::size_t idx) {
-    if (last_write_[idx] != iter_) shadow_->mark_exposed_read(iter_, idx);
+    if (lw_gen_[idx] == gen_ && lw_iter_[idx] == iter_) return;  // covered
+    ++marks_;
+    marker_.mark_exposed_read(iter_, idx);
   }
 
   void on_write(std::size_t idx) {
-    last_write_[idx] = iter_;
-    shadow_->mark_write(iter_, idx);
+    lw_gen_[idx] = gen_;
+    lw_iter_[idx] = iter_;
+    ++marks_;
+    marker_.mark_write(iter_, idx);
   }
 
   long iteration() const noexcept { return iter_; }
+  unsigned vpn() const noexcept { return vpn_; }
+
+  /// Marks forwarded to the shadow since the last reset() — the measured
+  /// per-run instrumentation tax the cost model consumes (ExecReport::
+  /// shadow_marks, LoopStatistics::marks_per_iteration).
+  long marks() const noexcept { return marks_; }
+
+  /// O(n) fills performed over the accessor's lifetime (1 = construction
+  /// only; the allocation-regression tests assert resets never add more).
+  long fills() const noexcept { return fills_; }
 
  private:
-  PDShadow* shadow_;
+  Shadow* shadow_;
+  typename Shadow::Marker marker_;
+  unsigned vpn_ = 0;
   long iter_ = -1;
-  std::vector<long> last_write_;
+  long marks_ = 0;
+  long fills_ = 1;  ///< the construction-time zero-fill below
+  std::uint32_t gen_ = 1;
+  std::vector<long> lw_iter_;
+  std::vector<std::uint32_t> lw_gen_;
 };
+
+/// Historical names: the shared policy, which is what these spelled before
+/// the privatized store existed.
+using PDShadow = PDSharedShadow;
+using PDAccessor = PDAccessorT<PDSharedShadow>;
+using PDPrivateAccessor = PDAccessorT<PDPrivateShadow>;
 
 }  // namespace wlp

@@ -13,10 +13,12 @@
 #include <condition_variable>
 #include <limits>
 #include <mutex>
+#include <span>
 #include <vector>
 
 #include "wlp/obs/obs.hpp"
 #include "wlp/core/report.hpp"
+#include "wlp/core/speculative.hpp"
 #include "wlp/sched/doall.hpp"
 #include "wlp/sched/thread_pool.hpp"
 
@@ -156,6 +158,71 @@ WindowReport sliding_window_while(ThreadPool& pool, long u, Body&& body,
   WLP_OBS_HIST("wlp.window.span", max_span);
   WLP_OBS_HIST("wlp.window.overshoot", wr.exec.overshot);
   WLP_OBS_GAUGE_SET("wlp.window.final_size", window);
+  return wr;
+}
+
+/// Windowed execution of a loop whose accesses are NOT proven independent:
+/// Section 8.2's scheduler combined with Section 5's speculation.  The
+/// window bounds stamp memory during the speculative run; the PD analysis
+/// (trip-filtered) then validates it like any other speculative execution.
+///
+/// `body(i, vpn) -> IterAction` must route accesses through the registered
+/// targets (begin_iteration first); `run_sequential() -> trip` is the
+/// fallback after a full restore.  Retries against the same targets are
+/// cheap: reset_marks() is an O(1) epoch bump under the privatized policy.
+template <class Body, class SeqRun>
+WindowReport sliding_window_speculative_while(
+    ThreadPool& pool, long u, std::span<SpecTarget* const> targets,
+    Body&& body, SeqRun&& run_sequential, WindowOptions wopts = {},
+    bool undo_in_parallel = true) {
+  WLP_TRACE_SCOPE("window.spec", u, wopts.window);
+  for (SpecTarget* t : targets) {
+    t->reset_marks();
+    t->checkpoint();
+  }
+
+  bool failed = false;
+  WindowReport wr;
+  try {
+    wr = sliding_window_while(pool, u, body, wopts);
+  } catch (...) {
+    failed = true;  // Section 5.1: exception == invalid parallel execution
+    WLP_OBS_COUNT("wlp.spec.exceptions", 1);
+  }
+  wr.exec.method = Method::kSlidingWindow;
+  wr.exec.used_checkpoint = true;
+  wr.exec.used_stamps = true;
+
+  for (SpecTarget* t : targets) wr.exec.shadow_marks += t->marks();
+  WLP_OBS_COUNT("wlp.pd.marks", wr.exec.shadow_marks);
+
+  if (!failed) {
+    WLP_TRACE_SCOPE("pd.analyze", wr.exec.trip, 0);
+    for (SpecTarget* t : targets) {
+      if (!t->shadowed()) continue;
+      wr.exec.pd_tested = true;
+      if (!t->analyze(pool, wr.exec.trip).fully_parallel()) {
+        wr.exec.pd_passed = false;
+        failed = true;
+      }
+    }
+    if (wr.exec.pd_tested)
+      WLP_OBS_COUNT(wr.exec.pd_passed ? "wlp.spec.pd_pass" : "wlp.spec.pd_fail",
+                    1);
+  }
+
+  if (failed) {
+    WLP_OBS_COUNT("wlp.spec.seq_reexec", 1);
+    for (SpecTarget* t : targets) t->restore_all();
+    wr.exec.reexecuted_sequentially = true;
+    wr.exec.trip = run_sequential();
+    return wr;
+  }
+
+  for (SpecTarget* t : targets)
+    wr.exec.undone_writes +=
+        t->undo_beyond(wr.exec.trip, undo_in_parallel ? &pool : nullptr);
+  WLP_OBS_HIST("wlp.spec.undo_writes", wr.exec.undone_writes);
   return wr;
 }
 

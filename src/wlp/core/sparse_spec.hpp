@@ -20,7 +20,7 @@
 
 namespace wlp {
 
-template <class T>
+template <class T, class Shadow = PDPrivateShadow>
 class SparseSpecArray final : public SpecTarget {
  public:
   /// `shared` stays owned by the caller and is mutated in place.
@@ -31,10 +31,12 @@ class SparseSpecArray final : public SpecTarget {
       : data_(shared),
         backup_(expected_writes * 2),
         pd_(run_pd_test),
-        shadow_(shared.size()) {
-    accessors_.reserve(workers);
-    for (unsigned w = 0; w < workers; ++w)
-      accessors_.emplace_back(shadow_, shared.size());
+        shadow_(shared.size(), workers) {
+    if (pd_) {
+      accessors_.reserve(workers);
+      for (unsigned w = 0; w < workers; ++w)
+        accessors_.emplace_back(shadow_, shared.size(), w);
+    }
   }
 
   // ---- body-side API -----------------------------------------------------
@@ -71,8 +73,14 @@ class SparseSpecArray final : public SpecTarget {
     return shadow_.analyze(pool, trip);
   }
   void reset_marks() override {
-    shadow_.reset();
+    shadow_.reset();  // O(1) epoch bump for the privatized policy
+    for (auto& a : accessors_) a.reset();
     backup_.clear();
+  }
+  long marks() const override {
+    long m = 0;
+    for (const auto& a : accessors_) m += a.marks();
+    return m;
   }
   void discard() override { backup_.clear(); }
 
@@ -80,8 +88,8 @@ class SparseSpecArray final : public SpecTarget {
   std::vector<T>& data_;
   HashBackup<T> backup_;
   bool pd_;
-  PDShadow shadow_;
-  std::vector<PDAccessor> accessors_;
+  Shadow shadow_;
+  std::vector<PDAccessorT<Shadow>> accessors_;
 };
 
 }  // namespace wlp

@@ -34,6 +34,8 @@ class SpecTarget {
   virtual bool shadowed() const = 0;
   virtual PDVerdict analyze(ThreadPool& pool, long trip) const = 0;
   virtual void reset_marks() = 0;
+  /// Shadow marks recorded since the last reset_marks() (0 if not shadowed).
+  virtual long marks() const { return 0; }
   /// Commit: the speculation succeeded with no overshoot in this region,
   /// the backup state can be dropped (strip-by-strip drivers use this).
   virtual void discard() = 0;
@@ -42,16 +44,25 @@ class SpecTarget {
 /// A shared array under speculation: versioned data + (optionally) a PD
 /// shadow with one accessor per worker.  Loop bodies use the vpn-qualified
 /// get/set, which both maintain the stamps and drive the shadow marking.
-template <class T>
+///
+/// `Shadow` selects the marking policy: `PDPrivateShadow` (default) marks
+/// into per-worker private segments with plain stores and merges at analyze
+/// time; `PDSharedShadow` is the old striped-lock shared structure, kept for
+/// A/B comparison in benches.
+template <class T, class Shadow = PDPrivateShadow>
 class SpecArray final : public SpecTarget {
  public:
   /// `run_pd_test` = false means the accesses are statically analyzable
-  /// (only time-stamping for undo is needed, no shadow marking).
+  /// (only time-stamping for undo is needed, no shadow marking) — the
+  /// accessors (and their O(n) last-writer tables) are not even built.
   SpecArray(std::vector<T> init, unsigned workers, bool run_pd_test)
-      : array_(std::move(init)), pd_(run_pd_test), shadow_(array_.size()) {
-    accessors_.reserve(workers);
-    for (unsigned w = 0; w < workers; ++w)
-      accessors_.emplace_back(shadow_, array_.size());
+      : array_(std::move(init)), pd_(run_pd_test),
+        shadow_(array_.size(), workers) {
+    if (pd_) {
+      accessors_.reserve(workers);
+      for (unsigned w = 0; w < workers; ++w)
+        accessors_.emplace_back(shadow_, array_.size(), w);
+    }
   }
 
   // ---- body-side API -----------------------------------------------------
@@ -88,16 +99,22 @@ class SpecArray final : public SpecTarget {
     return shadow_.analyze(pool, trip);
   }
   void reset_marks() override {
-    shadow_.reset();
+    shadow_.reset();  // O(1) epoch bump for the privatized policy
+    for (auto& a : accessors_) a.reset();
     array_.clear_stamps();
+  }
+  long marks() const override {
+    long m = 0;
+    for (const auto& a : accessors_) m += a.marks();
+    return m;
   }
   void discard() override { array_.discard_checkpoint(); }
 
  private:
   VersionedArray<T> array_;
   bool pd_;
-  PDShadow shadow_;
-  std::vector<PDAccessor> accessors_;
+  Shadow shadow_;
+  std::vector<PDAccessorT<Shadow>> accessors_;
 };
 
 struct SpecOptions {
@@ -140,6 +157,12 @@ ExecReport speculative_while(ThreadPool& pool, long u,
     failed = true;
     WLP_OBS_COUNT("wlp.spec.exceptions", 1);
   }
+
+  // Instrumentation volume for the cost model: accessors count marks in
+  // plain per-worker counters during the run; fold them here, off the hot
+  // path, regardless of whether the speculation succeeds.
+  for (SpecTarget* t : targets) r.shadow_marks += t->marks();
+  WLP_OBS_COUNT("wlp.pd.marks", r.shadow_marks);
 
   if (!failed) {
     r.trip = qr.trip;

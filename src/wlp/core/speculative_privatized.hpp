@@ -24,6 +24,7 @@
 
 #include "wlp/core/privatize.hpp"
 #include "wlp/core/report.hpp"
+#include "wlp/obs/obs.hpp"
 #include "wlp/core/shadow.hpp"
 #include "wlp/sched/doall.hpp"
 
@@ -35,19 +36,22 @@ class PrivTarget {
   virtual ~PrivTarget() = default;
   virtual PDVerdict analyze(ThreadPool& pool, long trip) const = 0;
   virtual long copy_out(long trip) = 0;
+  /// Shadow marks recorded during the run (instrumentation volume).
+  virtual long marks() const { return 0; }
 };
 
 /// A shared array speculated on through per-processor private copies.
 /// The shared vector stays untouched until copy_out().
-template <class T>
+/// `Shadow` selects the marking policy (see SpecArray).
+template <class T, class Shadow = PDPrivateShadow>
 class PrivatizedSpecArray final : public PrivTarget {
  public:
   PrivatizedSpecArray(std::vector<T>& shared, unsigned workers)
-      : priv_(shared, workers), shadow_(shared.size()),
+      : priv_(shared, workers), shadow_(shared.size(), workers),
         iter_(workers, -1) {
     accessors_.reserve(workers);
     for (unsigned w = 0; w < workers; ++w)
-      accessors_.emplace_back(shadow_, shared.size());
+      accessors_.emplace_back(shadow_, shared.size(), w);
   }
 
   // ---- body-side API -----------------------------------------------------
@@ -73,13 +77,18 @@ class PrivatizedSpecArray final : public PrivTarget {
     return shadow_.analyze(pool, trip);
   }
   long copy_out(long trip) override { return priv_.copy_out(trip); }
+  long marks() const override {
+    long m = 0;
+    for (const auto& a : accessors_) m += a.marks();
+    return m;
+  }
 
   std::size_t trail_entries() const { return priv_.trail_entries(); }
 
  private:
   PrivatizedArray<T> priv_;
-  PDShadow shadow_;
-  std::vector<PDAccessor> accessors_;
+  Shadow shadow_;
+  std::vector<PDAccessorT<Shadow>> accessors_;
   // Current iteration per worker (PrivatizedArray wants it on write).
   std::vector<long> iter_;
 };
@@ -107,6 +116,9 @@ ExecReport speculative_privatized_while(ThreadPool& pool, long u,
   } catch (...) {
     failed = true;  // Section 5.1: exception == invalid parallel execution
   }
+
+  for (const PrivTarget* t : targets) r.shadow_marks += t->marks();
+  WLP_OBS_COUNT("wlp.pd.marks", r.shadow_marks);
 
   if (!failed) {
     r.trip = qr.trip;

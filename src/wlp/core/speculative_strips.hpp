@@ -75,6 +75,13 @@ StripSpecReport strip_speculative_while(ThreadPool& pool, long u, long strip,
       failed = true;
     }
 
+    // Per-strip instrumentation volume (accessor counters reset with the
+    // strip's reset_marks() above, so this is exactly this strip's marks).
+    long strip_marks = 0;
+    for (SpecTarget* t : targets) strip_marks += t->marks();
+    out.exec.shadow_marks += strip_marks;
+    WLP_OBS_COUNT("wlp.pd.marks", strip_marks);
+
     if (!failed) {
       for (SpecTarget* t : targets) {
         if (!t->shadowed()) continue;

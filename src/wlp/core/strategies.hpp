@@ -126,6 +126,8 @@ ExecReport stats_enhanced_while(ThreadPool& pool, long u, StampThreshold thresho
   r.started = qr.started;
   r.trip = qr.trip;
   r.overshot = std::max(0L, qr.started - qr.trip);
+  for (SpecTarget* t : targets) r.shadow_marks += t->marks();
+  WLP_OBS_COUNT("wlp.pd.marks", r.shadow_marks);
 
   if (qr.trip < threshold.value) {
     // The estimate was wrong on the short side: unstamped overshot writes

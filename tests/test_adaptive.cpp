@@ -168,5 +168,50 @@ TEST(ExpectedSpeculativeSpeedup, BlendsHistoryIntoThePrediction) {
   EXPECT_DOUBLE_EQ(expected_speculative_speedup(pred, -1.0), 0.5);
 }
 
+TEST(LoopStatistics, MarksPerIterationComesFromPdTestedRunsOnly) {
+  LoopStatistics st;
+
+  ExecReport plain;  // never shadowed: must not dilute the average
+  plain.trip = plain.started = 100;
+  plain.shadow_marks = 0;
+  st.record(plain);
+
+  ExecReport spec;
+  spec.pd_tested = true;
+  spec.trip = spec.started = 100;
+  spec.shadow_marks = 300;  // 3 marks per iteration
+  st.record(spec);
+  st.record(spec);
+
+  EXPECT_DOUBLE_EQ(st.marks_per_iteration(), 3.0);
+
+  const OverheadProfile o = st.observed_profile();
+  // a = marks/iter * estimated trip (trips: 100, 100, 100 -> 100).
+  EXPECT_EQ(o.accesses, 300);
+  EXPECT_TRUE(o.pd_test);
+  EXPECT_TRUE(o.needs_undo);
+}
+
+TEST(LoopStatistics, HistoryDrivenShouldSpeculate) {
+  // A loop with lots of remainder work and a light measured instrumentation
+  // tax: speculation should be recommended; crank the measured tax up and
+  // the same history must flip the decision.
+  LoopTiming t{/*t_rem=*/10000.0, /*t_rec=*/10.0};
+
+  LoopStatistics cheap;
+  ExecReport r;
+  r.pd_tested = true;
+  r.pd_passed = true;
+  r.trip = r.started = 1000;
+  r.shadow_marks = 1000;  // 1 mark per iteration
+  cheap.record(r);
+  EXPECT_TRUE(cheap.should_speculate(t, 8, DispatcherParallelism::kFull));
+
+  LoopStatistics taxed;
+  r.shadow_marks = 1000 * 400;  // 400 marks per iteration: tax dominates
+  taxed.record(r);
+  EXPECT_FALSE(taxed.should_speculate(t, 8, DispatcherParallelism::kFull));
+}
+
 }  // namespace
 }  // namespace wlp

@@ -147,6 +147,19 @@ TEST(ChooseSchedule, LongUniformLoopPicksGuided) {
   EXPECT_GE(o.chunk, 1);
 }
 
+TEST(ObservedOverheads, BuildsProfileFromMeasuredMarks) {
+  const OverheadProfile o =
+      observed_overheads(/*marks_per_iteration=*/2.5, /*expected_trip=*/1000,
+                         /*pd_test=*/true, /*needs_undo=*/false, 1.5);
+  EXPECT_EQ(o.accesses, 2500);
+  EXPECT_DOUBLE_EQ(o.access_cost, 1.5);
+  EXPECT_TRUE(o.pd_test);
+  EXPECT_FALSE(o.needs_undo);
+  // Degenerate inputs clamp to zero instead of going negative.
+  EXPECT_EQ(observed_overheads(-1.0, 1000, true, true).accesses, 0);
+  EXPECT_EQ(observed_overheads(2.0, -5, true, true).accesses, 0);
+}
+
 TEST(ChooseSchedule, GuidedChunkScalesWithTrip) {
   const DoallOptions small = choose_schedule(10000, 10000, 0.0, 4);
   const DoallOptions large = choose_schedule(1000000, 1000000, 0.0, 4);

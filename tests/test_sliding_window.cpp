@@ -121,6 +121,99 @@ TEST(SlidingWindow, EmptyRange) {
   EXPECT_EQ(wr.exec.started, 0);
 }
 
+// ---- speculative composition (Section 8.2 scheduler + Section 5 PD test) ---
+
+TEST(SlidingWindowSpeculative, IndependentLoopPassesAndUndoesOvershoot) {
+  ThreadPool pool(4);
+  const long n = 2000, exit_at = 1500;
+  SpecArray<double> arr(std::vector<double>(static_cast<std::size_t>(n), -1.0),
+                        pool.size(), true);
+  SpecTarget* targets[] = {&arr};
+  WindowOptions opts;
+  opts.window = 64;
+
+  const WindowReport wr = sliding_window_speculative_while(
+      pool, n, std::span<SpecTarget* const>(targets, 1),
+      [&](long i, unsigned vpn) {
+        arr.begin_iteration(vpn, i);
+        if (i >= exit_at) return IterAction::kExit;
+        const auto idx = static_cast<std::size_t>((i * 7901) % n);
+        arr.set(vpn, i, idx, static_cast<double>(i));
+        return IterAction::kContinue;
+      },
+      [&] { return exit_at; }, opts);
+
+  EXPECT_EQ(wr.exec.method, Method::kSlidingWindow);
+  EXPECT_TRUE(wr.exec.pd_tested);
+  EXPECT_TRUE(wr.exec.pd_passed);
+  EXPECT_FALSE(wr.exec.reexecuted_sequentially);
+  EXPECT_EQ(wr.exec.trip, exit_at);
+  EXPECT_EQ(wr.exec.shadow_marks, exit_at);  // one write per valid iteration
+  EXPECT_LE(wr.max_span, opts.window);       // stamp memory stayed bounded
+
+  std::vector<double> expect(static_cast<std::size_t>(n), -1.0);
+  for (long i = 0; i < exit_at; ++i)
+    expect[static_cast<std::size_t>((i * 7901) % n)] = static_cast<double>(i);
+  EXPECT_EQ(arr.data(), expect);
+}
+
+TEST(SlidingWindowSpeculative, FlowDependenceFailsAndFallsBack) {
+  ThreadPool pool(4);
+  const long n = 400;
+  SpecArray<double> arr(std::vector<double>(static_cast<std::size_t>(n), 0.0),
+                        pool.size(), true);
+  SpecTarget* targets[] = {&arr};
+
+  const WindowReport wr = sliding_window_speculative_while(
+      pool, n, std::span<SpecTarget* const>(targets, 1),
+      [&](long i, unsigned vpn) {
+        arr.begin_iteration(vpn, i);
+        if (i == 0) return IterAction::kContinue;
+        const double prev = arr.get(vpn, static_cast<std::size_t>(i - 1));
+        arr.set(vpn, i, static_cast<std::size_t>(i), prev + 1.0);
+        return IterAction::kContinue;
+      },
+      [&] {
+        auto& d = arr.data();
+        for (long i = 1; i < n; ++i)
+          d[static_cast<std::size_t>(i)] = d[static_cast<std::size_t>(i - 1)] + 1.0;
+        return n;
+      });
+
+  EXPECT_FALSE(wr.exec.pd_passed);
+  EXPECT_TRUE(wr.exec.reexecuted_sequentially);
+  EXPECT_EQ(wr.exec.trip, n);
+  for (long i = 0; i < n; ++i)
+    EXPECT_EQ(arr.data()[static_cast<std::size_t>(i)], static_cast<double>(i)) << i;
+}
+
+TEST(SlidingWindowSpeculative, RetriesReuseTargetsCheaply) {
+  // Repeated window-speculations against one SpecArray: the epoch-based
+  // reset_marks() must keep every retry correct (no mark bleed-through).
+  ThreadPool pool(4);
+  const long n = 300;
+  SpecArray<double> arr(std::vector<double>(static_cast<std::size_t>(n), 0.0),
+                        pool.size(), true);
+  SpecTarget* targets[] = {&arr};
+
+  for (int round = 0; round < 5; ++round) {
+    const WindowReport wr = sliding_window_speculative_while(
+        pool, n, std::span<SpecTarget* const>(targets, 1),
+        [&](long i, unsigned vpn) {
+          arr.begin_iteration(vpn, i);
+          arr.set(vpn, i, static_cast<std::size_t>(i),
+                  static_cast<double>(round));
+          return IterAction::kContinue;
+        },
+        [&] { return n; });
+    ASSERT_TRUE(wr.exec.pd_passed) << "round " << round;
+    ASSERT_FALSE(wr.exec.reexecuted_sequentially) << "round " << round;
+    ASSERT_EQ(wr.exec.shadow_marks, n) << "round " << round;
+  }
+  for (long i = 0; i < n; ++i)
+    EXPECT_EQ(arr.data()[static_cast<std::size_t>(i)], 4.0);
+}
+
 TEST(SlidingWindow, WindowOfOneIsSequentialOrder) {
   ThreadPool pool(4);
   WindowOptions opts;
