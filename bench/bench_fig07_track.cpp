@@ -44,6 +44,15 @@ int main() {
                     sim.speedup_curve(Method::kInduction1, profile,
                                       processor_counts(), stamped),
                     5.8});
+  // The Wu-Lewis DOACROSS pipeline is the baseline every General/Induction
+  // comparison rests on (Sections 3.3/10): its speedup is capped near
+  // Twork/Tnext by the serialized dispatcher chain, which is exactly the
+  // gap Induction-1 closes.  The real-runtime pipeline behind this curve is
+  // the frontier-word handoff measured by bench_micro_doacross.
+  series.push_back({"Wu-Lewis DOACROSS (baseline)",
+                    sim.speedup_curve(Method::kWuLewisDoacross, profile,
+                                      processor_counts()),
+                    0});
   series.push_back({"ideal (hand-parallelized)",
                     sim.speedup_curve(Method::kInduction2, ideal,
                                       processor_counts()),

@@ -1,0 +1,282 @@
+// DOACROSS wait-chain microbenchmark.
+//
+// Three variants of the cross-iteration rendezvous, timed on the real host:
+//
+//   1. packed_spin  — the seed chain verbatim: one 1-byte atomic flag per
+//      iteration, waiters spin/yield with the shared Backoff and never
+//      park.  64 flags share a cache line, so every sequential-phase store
+//      ping-pongs the line under all nearby waiters (the false-sharing
+//      satellite this bench keeps as its A/B floor).
+//   2. padded_spin  — the same protocol with each flag padded to its own
+//      cache line: isolates the false-sharing cost from the spin cost.
+//   3. frontier     — the shipped implementation (sched/doacross.hpp): one
+//      futex-capable frontier word, waiters park once the spin budget is
+//      spent (zero budget when the pool is oversubscribed), owners batch
+//      consecutive sequential phases into one publication + broadcast.
+//
+// The sequential phase is ~1 µs of unelidable work so the chain genuinely
+// serializes; the parallel phase is ~2 µs so the pipeline has something to
+// overlap.  On an oversubscribed host (CI: more pool threads than cores)
+// the spin variants burn the owner's cycles and the parked frontier must
+// win; at pipeline depth <= cores it must at least break even.
+//
+// Emits BENCH_doacross.json (path overridable via argv[1]); the CI guard
+// step fails the build if the parked handoff regresses against the spin
+// baseline measured in the same run.
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "wlp/sched/doacross.hpp"
+#include "wlp/sched/thread_pool.hpp"
+#include "wlp/support/backoff.hpp"
+#include "wlp/support/cacheline.hpp"
+#include "wlp/support/stats.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// ~0.3 ns per step of xorshift the optimizer cannot elide.
+inline std::uint64_t churn(std::uint64_t v, int steps) {
+  v |= 1u;
+  for (int k = 0; k < steps; ++k) {
+    v ^= v << 13;
+    v ^= v >> 7;
+    v ^= v << 17;
+  }
+  return v;
+}
+
+constexpr int kSeqSteps = 1000;  ///< ~1 us sequential phase
+constexpr int kParSteps = 2000;  ///< ~2 us parallel phase
+
+// ---- the seed flag-chain baselines -----------------------------------------
+
+enum class SeqFlag : std::uint8_t { kPending = 0, kGo = 1, kStop = 2 };
+
+/// Flag storage, packed (the seed layout: 64 flags per cache line).
+struct PackedFlags {
+  explicit PackedFlags(std::size_t n) : v(n) {}
+  std::atomic<std::uint8_t>& operator[](std::size_t i) noexcept { return v[i]; }
+  std::vector<std::atomic<std::uint8_t>> v;
+};
+
+/// Flag storage, one flag per cache line (the false-sharing A/B).
+struct PaddedFlags {
+  explicit PaddedFlags(std::size_t n) : v(n) {}
+  std::atomic<std::uint8_t>& operator[](std::size_t i) noexcept {
+    return v[i].value;
+  }
+  std::vector<wlp::Padded<std::atomic<std::uint8_t>>> v;
+};
+
+/// The seed doacross_while, verbatim protocol: per-iteration flag chain,
+/// spin/yield waiters that never park.  Templated on the flag layout.
+template <class Flags, class Seq, class Par>
+long spin_chain_doacross(wlp::ThreadPool& pool, long max_iters, Seq&& seq,
+                         Par&& par, std::atomic<std::uint64_t>& rounds_out) {
+  Flags flag(static_cast<std::size_t>(max_iters) + 1);
+  for (long i = 0; i <= max_iters; ++i)
+    flag[static_cast<std::size_t>(i)].store(
+        static_cast<std::uint8_t>(SeqFlag::kPending), std::memory_order_relaxed);
+  flag[0].store(static_cast<std::uint8_t>(SeqFlag::kGo),
+                std::memory_order_release);
+
+  std::atomic<long> next{0};
+  std::atomic<long> trip{max_iters};
+
+  pool.parallel([&](unsigned vpn) {
+    for (;;) {
+      const long i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= max_iters) return;
+      {
+        wlp::Backoff b;
+        while (flag[static_cast<std::size_t>(i)].load(
+                   std::memory_order_acquire) ==
+               static_cast<std::uint8_t>(SeqFlag::kPending))
+          b.pause();
+        rounds_out.fetch_add(b.rounds(), std::memory_order_relaxed);
+      }
+      const auto prev = static_cast<SeqFlag>(
+          flag[static_cast<std::size_t>(i)].load(std::memory_order_acquire));
+      if (prev == SeqFlag::kStop) {
+        flag[static_cast<std::size_t>(i) + 1].store(
+            static_cast<std::uint8_t>(SeqFlag::kStop),
+            std::memory_order_release);
+        return;
+      }
+      const bool keep_going = seq(i);
+      flag[static_cast<std::size_t>(i) + 1].store(
+          static_cast<std::uint8_t>(keep_going ? SeqFlag::kGo : SeqFlag::kStop),
+          std::memory_order_release);
+      if (!keep_going) {
+        long expected = max_iters;
+        trip.compare_exchange_strong(expected, i, std::memory_order_acq_rel);
+        return;
+      }
+      par(i, vpn);
+    }
+  });
+  return trip.load(std::memory_order_acquire);
+}
+
+// ---- measurement -----------------------------------------------------------
+
+struct Row {
+  unsigned p = 0;
+  bool oversubscribed = false;
+  double packed_ns = 0;
+  double padded_ns = 0;
+  double frontier_ns = 0;
+  std::uint64_t packed_rounds = 0;
+  std::uint64_t frontier_rounds = 0;
+  std::uint64_t parks = 0;
+  std::uint64_t publishes = 0;
+};
+
+/// Per-worker sinks so the churn results are genuinely consumed.
+struct Sinks {
+  explicit Sinks(unsigned p) : slots(p, 0) {}
+  wlp::PerWorker<std::uint64_t> slots;
+};
+
+Row measure(unsigned p, long n, int reps) {
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  wlp::ThreadPool pool(p);
+  Sinks sinks(p);
+  std::atomic<std::uint64_t> seq_state{1};
+
+  auto seq = [&](long i) {
+    // The serial chain: read-modify-write of shared state, ~1 us.
+    const std::uint64_t v =
+        churn(seq_state.load(std::memory_order_relaxed) +
+                  static_cast<std::uint64_t>(i),
+              kSeqSteps);
+    seq_state.store(v, std::memory_order_relaxed);
+    return true;
+  };
+  auto par = [&](long i, unsigned vpn) {
+    sinks.slots[vpn] += churn(static_cast<std::uint64_t>(i), kParSteps);
+  };
+
+  Row row;
+  row.p = p;
+  row.oversubscribed = p > hw;
+
+  std::vector<double> packed_t, padded_t, frontier_t;
+  for (int r = 0; r < reps + 1; ++r) {  // first rep of each variant = warmup
+    {
+      std::atomic<std::uint64_t> rounds{0};
+      const auto t0 = Clock::now();
+      spin_chain_doacross<PackedFlags>(pool, n, seq, par, rounds);
+      const double s = seconds_since(t0);
+      if (r > 0) {
+        packed_t.push_back(s * 1e9 / static_cast<double>(n));
+        row.packed_rounds += rounds.load();
+      }
+    }
+    {
+      std::atomic<std::uint64_t> rounds{0};
+      const auto t0 = Clock::now();
+      spin_chain_doacross<PaddedFlags>(pool, n, seq, par, rounds);
+      const double s = seconds_since(t0);
+      if (r > 0) padded_t.push_back(s * 1e9 / static_cast<double>(n));
+    }
+    {
+      const auto t0 = Clock::now();
+      const wlp::DoacrossResult dr =
+          wlp::doacross_while(pool, n, seq, par);
+      const double s = seconds_since(t0);
+      if (r > 0) {
+        frontier_t.push_back(s * 1e9 / static_cast<double>(n));
+        row.frontier_rounds += dr.wait_rounds;
+        row.parks += dr.parks;
+        row.publishes += dr.publishes;
+      }
+    }
+  }
+  row.packed_ns = wlp::median(packed_t);
+  row.padded_ns = wlp::median(padded_t);
+  row.frontier_ns = wlp::median(frontier_t);
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* out_path = argc > 1 ? argv[1] : "BENCH_doacross.json";
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  const long n = 2000;
+  const int reps = 5;
+
+  std::printf("== DOACROSS wait-chain cost (n=%ld links, ~1us seq / ~2us par, "
+              "host hw=%u) ==\n", n, hw);
+  std::printf("  %-4s %-6s %14s %14s %14s %9s %10s %11s\n", "p", "over?",
+              "packed ns/it", "padded ns/it", "frontier ns/it", "parks",
+              "publishes", "spin rounds");
+
+  std::vector<Row> rows;
+  for (unsigned p : {2u, 4u, 8u}) {
+    const Row row = measure(p, n, reps);
+    rows.push_back(row);
+    std::printf("  %-4u %-6s %14.0f %14.0f %14.0f %9llu %10llu %11llu\n",
+                row.p, row.oversubscribed ? "yes" : "no", row.packed_ns,
+                row.padded_ns, row.frontier_ns,
+                static_cast<unsigned long long>(row.parks),
+                static_cast<unsigned long long>(row.publishes),
+                static_cast<unsigned long long>(row.packed_rounds));
+  }
+
+  for (const Row& row : rows)
+    std::printf("  p=%u frontier vs packed spin: %.2fx %s\n", row.p,
+                row.packed_ns / row.frontier_ns,
+                row.packed_ns >= row.frontier_ns ? "faster" : "SLOWER");
+
+  std::FILE* f = std::fopen(out_path, "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot open %s\n", out_path);
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"micro_doacross\",\n");
+  std::fprintf(f, "  \"host_hw_concurrency\": %u,\n", hw);
+  std::fprintf(f, "  \"links\": %ld,\n", n);
+  std::fprintf(f, "  \"seq_steps\": %d,\n", kSeqSteps);
+  std::fprintf(f, "  \"par_steps\": %d,\n", kParSteps);
+  std::fprintf(f, "  \"method\": \"median of %d reps after 1 warmup, "
+               "interleaved variants\",\n", reps);
+  std::fprintf(f, "  \"series\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(f,
+                 "    {\"p\": %u, \"oversubscribed\": %s, "
+                 "\"packed_spin_ns_per_iter\": %.1f, "
+                 "\"padded_spin_ns_per_iter\": %.1f, "
+                 "\"frontier_ns_per_iter\": %.1f, "
+                 "\"frontier_over_packed\": %.3f, "
+                 "\"parks\": %llu, \"publishes\": %llu, "
+                 "\"frontier_wait_rounds\": %llu, "
+                 "\"packed_spin_rounds\": %llu}%s\n",
+                 r.p, r.oversubscribed ? "true" : "false", r.packed_ns,
+                 r.padded_ns, r.frontier_ns, r.frontier_ns / r.packed_ns,
+                 static_cast<unsigned long long>(r.parks),
+                 static_cast<unsigned long long>(r.publishes),
+                 static_cast<unsigned long long>(r.frontier_rounds),
+                 static_cast<unsigned long long>(r.packed_rounds),
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", out_path);
+  return 0;
+}

@@ -376,7 +376,7 @@ PlanExecution run_parallel_plan(ThreadPool& pool, const Loop& loop,
                           ? st.entry_scalars.at(x)
                           : std::numeric_limits<double>::quiet_NaN();
           }
-        doacross_while(
+        const DoacrossResult dr = doacross_while(
             pool, loop.max_iters,
             [&](long i) {
               bool any = false;
@@ -388,6 +388,8 @@ PlanExecution run_parallel_plan(ThreadPool& pool, const Loop& loop,
               return any;
             },
             [](long, unsigned) {});
+        out.doacross_parks += static_cast<long>(dr.parks);
+        out.doacross_wait_rounds += static_cast<long>(dr.wait_rounds);
         break;
       }
     }

@@ -40,6 +40,9 @@ struct PlanExecution {
   long prefix_blocks = 0;           ///< recurrences evaluated by parallel prefix
   long logged_writes = 0;
   long discarded_writes = 0;  ///< overshot writes dropped during replay
+  long doacross_parks = 0;    ///< futex sleeps in sequential-block pipelines
+  long doacross_wait_rounds = 0;  ///< backoff rounds burned waiting on the
+                                  ///< DOACROSS frontier (pipeline stall cost)
 };
 
 PlanExecution run_parallel_plan(ThreadPool& pool, const Loop& loop,

@@ -10,6 +10,7 @@
 //     limits speedup to roughly Twork/Tnext when the recurrence is slow.
 #pragma once
 
+#include <algorithm>
 #include <vector>
 
 #include "wlp/core/report.hpp"
@@ -53,19 +54,28 @@ ExecReport while_wu_lewis_distribute(ThreadPool& pool, Cursor head, Next&& next,
 template <class Cursor, class Next, class End, class Par>
 ExecReport while_wu_lewis_doacross(ThreadPool& pool, Cursor head, Next&& next,
                                    End&& is_end, Par&& par, long u) {
-  // cur[i] is filled by the sequential phase of iteration i.
-  std::vector<Cursor> cur(static_cast<std::size_t>(u));
+  // ring[i % depth] is filled by the sequential phase of iteration i and
+  // read by its parallel phase.  A ring of pipeline-depth slots suffices:
+  // at most pool.size() iterations are in flight at once (each virtual
+  // processor holds one claimed iteration), so seq(i + depth) — which would
+  // overwrite slot i — cannot start until par(i)'s iteration has retired.
+  // The seed allocated a full O(u) vector here on every call.
+  const long depth = static_cast<long>(pool.size());
+  std::vector<Cursor> ring(static_cast<std::size_t>(std::min(u, depth)));
+  const long slots = static_cast<long>(ring.size());
   Cursor walker = head;
 
   const DoacrossResult dr = doacross_while(
       pool, u,
       [&](long i) {
         if (is_end(walker)) return false;
-        cur[static_cast<std::size_t>(i)] = walker;
+        ring[static_cast<std::size_t>(i % slots)] = walker;
         walker = next(walker);
         return true;
       },
-      [&](long i, unsigned vpn) { par(i, cur[static_cast<std::size_t>(i)], vpn); });
+      [&](long i, unsigned vpn) {
+        par(i, ring[static_cast<std::size_t>(i % slots)], vpn);
+      });
 
   ExecReport r;
   r.method = Method::kWuLewisDoacross;

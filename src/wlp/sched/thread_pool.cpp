@@ -30,37 +30,6 @@ struct CurrentPoolGuard {
   ~CurrentPoolGuard() { tl_current_pool = prev; }
 };
 
-// Parking primitive.  On Linux we call futex directly instead of
-// std::atomic::wait/notify: the kernel-side value compare in FUTEX_WAIT
-// makes it safe for the *waker* to skip the wake syscall whenever the
-// waiter-count word says nobody is parked — the seq_cst protocol below
-// guarantees that a waiter that slipped into the kernel is always seen.
-// (std::atomic::notify cannot be elided that way: libstdc++ parks on an
-// internal proxy word, so a skipped notify can strand a waiter even though
-// the value already changed.)  Memory ordering between fork and join is
-// carried entirely by the atomic words themselves; the futex is only a
-// sleeping primitive, which also keeps the protocol TSan-clean.
-#if defined(__linux__)
-inline void park_if(std::atomic<std::uint32_t>& word, std::uint32_t expected) {
-  syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(&word),
-          FUTEX_WAIT_PRIVATE, expected, nullptr, nullptr, 0);
-}
-inline void wake(std::atomic<std::uint32_t>& word, int n) {
-  syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(&word),
-          FUTEX_WAKE_PRIVATE, n, nullptr, nullptr, 0);
-}
-#else
-inline void park_if(std::atomic<std::uint32_t>& word, std::uint32_t expected) {
-  word.wait(expected, std::memory_order_acquire);
-}
-inline void wake(std::atomic<std::uint32_t>& word, int n) {
-  if (n == 1)
-    word.notify_one();
-  else
-    word.notify_all();
-}
-#endif
-
 // Claim word layout: low 48 epoch bits in the top, next unclaimed vpn in
 // the bottom 16 (pool sizes are far below 2^16, so a claim is just +1).
 constexpr std::uint64_t claim_pack(std::uint64_t epoch, unsigned next_vpn) {
@@ -68,6 +37,44 @@ constexpr std::uint64_t claim_pack(std::uint64_t epoch, unsigned next_vpn) {
 }
 
 }  // namespace
+
+namespace detail {
+
+// Parking primitive.  On Linux we call futex directly instead of
+// std::atomic::wait/notify: the kernel-side value compare in FUTEX_WAIT
+// makes it safe for the *waker* to skip the wake syscall whenever the
+// waiter-count word says nobody is parked — the seq_cst protocol used by
+// the pool barrier and the DOACROSS frontier guarantees that a waiter that
+// slipped into the kernel is always seen.  (std::atomic::notify cannot be
+// elided that way: libstdc++ parks on an internal proxy word, so a skipped
+// notify can strand a waiter even though the value already changed.)
+// Memory ordering between publisher and waiter is carried entirely by the
+// atomic words themselves; the futex is only a sleeping primitive, which
+// also keeps the protocols TSan-clean.
+#if defined(__linux__)
+void futex_wait_u32(std::atomic<std::uint32_t>& word,
+                    std::uint32_t expected) noexcept {
+  syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(&word),
+          FUTEX_WAIT_PRIVATE, expected, nullptr, nullptr, 0);
+}
+void futex_wake_u32(std::atomic<std::uint32_t>& word, int n) noexcept {
+  syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(&word),
+          FUTEX_WAKE_PRIVATE, n, nullptr, nullptr, 0);
+}
+#else
+void futex_wait_u32(std::atomic<std::uint32_t>& word,
+                    std::uint32_t expected) noexcept {
+  word.wait(expected, std::memory_order_acquire);
+}
+void futex_wake_u32(std::atomic<std::uint32_t>& word, int n) noexcept {
+  if (n == 1)
+    word.notify_one();
+  else
+    word.notify_all();
+}
+#endif
+
+}  // namespace detail
 
 unsigned ThreadPool::default_concurrency() {
   const unsigned hw = std::thread::hardware_concurrency();
@@ -79,10 +86,11 @@ ThreadPool::ThreadPool(unsigned n) {
   n = std::min(n, 0xffffu);  // vpn must fit the claim word's low 16 bits
   nproc_ = n;
   const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  oversubscribed_ = n > hw;
   // Helpers: spinning for the next fork only pays if the caller can run
   // concurrently; on an oversubscribed host the spin budget is cycles
   // stolen from exactly the thread being waited for, so park at once.
-  start_spin_limit_ = n <= hw ? Backoff::kDefaultSpinLimit : 0;
+  start_spin_limit_ = oversubscribed_ ? 0 : Backoff::kDefaultSpinLimit;
   // Caller: the join wait is short by construction (the caller has already
   // executed or stolen every share nobody claimed), so burn a spin/yield
   // budget before parking — each yield donates the core to a helper, and
@@ -120,7 +128,7 @@ ThreadPool::~ThreadPool() {
   const std::uint64_t e = epoch_.load(std::memory_order_relaxed) + 1;
   epoch_.store(e, std::memory_order_seq_cst);
   doorbell_.word.store(static_cast<std::uint32_t>(e), std::memory_order_seq_cst);
-  wake(doorbell_.word, std::numeric_limits<int>::max());
+  detail::futex_wake_u32(doorbell_.word, std::numeric_limits<int>::max());
   for (auto& t : threads_) t.join();
 
 #if defined(WLP_OBS_ENABLED)
@@ -210,7 +218,7 @@ void ThreadPool::execute_share(unsigned vpn, std::uint64_t epoch) {
   }
   if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
     done_.word.store(static_cast<std::uint32_t>(epoch), std::memory_order_seq_cst);
-    if (join_parked_.load(std::memory_order_seq_cst) != 0) wake(done_.word, 1);
+    if (join_parked_.load(std::memory_order_seq_cst) != 0) detail::futex_wake_u32(done_.word, 1);
   }
 }
 
@@ -236,7 +244,7 @@ void ThreadPool::run(detail::JobRef job) {
   epoch_.store(e, std::memory_order_seq_cst);
   doorbell_.word.store(static_cast<std::uint32_t>(e), std::memory_order_seq_cst);
   if (start_parked_.load(std::memory_order_seq_cst) != 0)
-    wake(doorbell_.word, std::numeric_limits<int>::max());
+    detail::futex_wake_u32(doorbell_.word, std::numeric_limits<int>::max());
 
   // Run our own share, then steal any share the helpers have not reached.
   // On a host where the helpers are still context-switching in, a short
@@ -260,7 +268,7 @@ void ThreadPool::run(detail::JobRef job) {
       WLP_TRACE_INSTANT("park.join", e, 0);
       join_parked_.store(1, std::memory_order_seq_cst);
       if (done_.word.load(std::memory_order_seq_cst) != target)
-        park_if(done_.word, static_cast<std::uint32_t>(e - 1));
+        detail::futex_wait_u32(done_.word, static_cast<std::uint32_t>(e - 1));
       join_parked_.store(0, std::memory_order_relaxed);
       parked = true;
     } else {
@@ -286,7 +294,7 @@ void ThreadPool::worker_main(unsigned widx) {
         const std::uint32_t bell = doorbell_.word.load(std::memory_order_seq_cst);
         start_parked_.fetch_add(1, std::memory_order_seq_cst);
         if (epoch_.load(std::memory_order_seq_cst) == seen)
-          park_if(doorbell_.word, bell);
+          detail::futex_wait_u32(doorbell_.word, bell);
         start_parked_.fetch_sub(1, std::memory_order_seq_cst);
         parked = true;
       } else {

@@ -89,6 +89,22 @@ class JobRef {
   void (*invoke_)(void*, unsigned) = nullptr;
 };
 
+/// Futex-backed sleep/wake on a 32-bit atomic word — the pool barrier's
+/// parking primitive, exposed here so other rendezvous points (the DOACROSS
+/// frontier word) park on the same machinery instead of growing their own.
+///
+/// `futex_wait_u32` sleeps while `word == expected` (the kernel re-checks
+/// the value under its own lock, so a publication racing the sleep can never
+/// strand the waiter); spurious returns are expected and callers must
+/// re-check their predicate.  `futex_wake_u32` wakes up to `n` sleepers.
+/// Wakers may elide the syscall entirely when a seq_cst waiter-count word
+/// says nobody is parked — see the protocol note in thread_pool.cpp.
+/// On non-Linux hosts these fall back to std::atomic wait/notify (no
+/// elision is attempted there by any caller in this codebase).
+void futex_wait_u32(std::atomic<std::uint32_t>& word,
+                    std::uint32_t expected) noexcept;
+void futex_wake_u32(std::atomic<std::uint32_t>& word, int n) noexcept;
+
 }  // namespace detail
 
 class ThreadPool {
@@ -104,6 +120,13 @@ class ThreadPool {
 
   /// Number of virtual processors.
   unsigned size() const noexcept { return nproc_; }
+
+  /// True when the pool holds more virtual processors than the host has
+  /// hardware threads.  Spinning waiters then steal cycles from exactly the
+  /// thread they wait on, so every rendezvous built on this pool (the
+  /// helpers' start barrier, the DOACROSS frontier) should park immediately
+  /// instead of burning a spin budget.
+  bool oversubscribed() const noexcept { return oversubscribed_; }
 
   /// Run `f(vpn)` for every vpn in [0, size()); blocks until all have
   /// finished.  The calling thread executes vpn 0's share itself and then
@@ -142,6 +165,7 @@ class ThreadPool {
   };
 
   unsigned nproc_ = 0;
+  bool oversubscribed_ = false;    ///< more vpns than hardware threads
   unsigned start_spin_limit_ = 0;  ///< helper spin budget (0 = park at once)
   unsigned join_spin_limit_ = 0;   ///< caller join spin/yield budget
 

@@ -27,13 +27,15 @@ inline void cpu_relax() noexcept {
 /// Escalating backoff: pause bursts of 1, 2, 4, ... up to 2^kPauseRounds,
 /// then sched_yield per round.  `should_park()` turns true after
 /// `spin_limit` rounds; waiters with a park mechanism (atomic wait / futex)
-/// check it each round, waiters without one just keep yielding.
+/// check it each round, call `note_park()` after each sleep, and waiters
+/// without one just keep yielding.
 class Backoff {
  public:
   /// `spin_limit == 0` means "park immediately" — the right policy when the
-  /// host cannot actually spin usefully (fewer cores than waiters).
+  /// host cannot actually spin usefully (fewer cores than waiters).  Limits
+  /// above kRoundCap are clamped so should_park() stays reachable.
   explicit Backoff(unsigned spin_limit = kDefaultSpinLimit) noexcept
-      : spin_limit_(spin_limit) {}
+      : spin_limit_(spin_limit < kRoundCap ? spin_limit : kRoundCap) {}
 
   void pause() noexcept {
     if (round_ < kPauseRounds) {
@@ -42,19 +44,35 @@ class Backoff {
     } else {
       std::this_thread::yield();
     }
-    ++round_;
+    if (round_ < kRoundCap) ++round_;
   }
 
   bool should_park() const noexcept { return round_ >= spin_limit_; }
 
-  void reset() noexcept { round_ = 0; }
+  /// Park hook: record one futex/atomic-wait sleep on the watched word.
+  /// Waiters that park report `parks()` alongside `rounds()` so the
+  /// park-vs-spin split is visible to the obs counters.
+  void note_park() noexcept {
+    if (parks_ < kRoundCap) ++parks_;
+  }
+
+  void reset() noexcept {
+    round_ = 0;
+    parks_ = 0;
+  }
+  /// Rounds burned, saturating at kRoundCap: the wlp.doacross.wait_rounds
+  /// histogram input must never wrap, and past the cap the escalation state
+  /// is meaningless anyway (the waiter yields every round regardless).
   unsigned rounds() const noexcept { return round_; }
+  unsigned parks() const noexcept { return parks_; }
 
   static constexpr unsigned kPauseRounds = 6;        ///< 1..32 pauses/round
   static constexpr unsigned kDefaultSpinLimit = 48;  ///< then park (if able)
+  static constexpr unsigned kRoundCap = 1u << 16;    ///< counter saturation
 
  private:
   unsigned round_ = 0;
+  unsigned parks_ = 0;
   unsigned spin_limit_;
 };
 

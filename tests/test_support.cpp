@@ -4,6 +4,7 @@
 #include <sstream>
 #include <thread>
 
+#include "wlp/support/backoff.hpp"
 #include "wlp/support/cacheline.hpp"
 #include "wlp/support/prng.hpp"
 #include "wlp/support/stats.hpp"
@@ -88,6 +89,49 @@ TEST(Stats, RelativeError) {
   EXPECT_DOUBLE_EQ(relative_error(11.0, 10.0), 0.1);
   EXPECT_DOUBLE_EQ(relative_error(0.0, 0.0), 0.0);
   EXPECT_TRUE(std::isinf(relative_error(1.0, 0.0)));
+}
+
+TEST(Backoff, RoundsSaturateAtTheCap) {
+  // rounds() feeds the wlp.doacross.wait_rounds histogram: it must clamp,
+  // not wrap, and should_park() must stay true once fired.  (The seed's
+  // counter incremented without bound and wrapped after 2^32 pauses.)
+  Backoff b(/*spin_limit=*/4);
+  for (unsigned i = 0; i < Backoff::kRoundCap + 100; ++i) b.pause();
+  EXPECT_EQ(b.rounds(), Backoff::kRoundCap);
+  EXPECT_TRUE(b.should_park());
+  b.pause();  // past the cap: still well defined, still capped
+  EXPECT_EQ(b.rounds(), Backoff::kRoundCap);
+  EXPECT_TRUE(b.should_park());
+}
+
+TEST(Backoff, OversizedSpinLimitIsClampedSoParkingStaysReachable) {
+  // A spin limit beyond the saturation cap would otherwise make
+  // should_park() unreachable — the waiter would spin forever.
+  Backoff b(/*spin_limit=*/~0u);
+  EXPECT_FALSE(b.should_park());
+  for (unsigned i = 0; i < Backoff::kRoundCap; ++i) b.pause();
+  EXPECT_TRUE(b.should_park());
+}
+
+TEST(Backoff, ParkHookCountsAndResets) {
+  Backoff b(/*spin_limit=*/0);
+  EXPECT_TRUE(b.should_park());  // park-at-once policy
+  EXPECT_EQ(b.parks(), 0u);
+  b.note_park();
+  b.note_park();
+  EXPECT_EQ(b.parks(), 2u);
+  b.reset();
+  EXPECT_EQ(b.parks(), 0u);
+  EXPECT_EQ(b.rounds(), 0u);
+}
+
+TEST(Backoff, EscalatesFromPauseBurstsWithoutYieldingEarly) {
+  // The first kPauseRounds rounds are pure pause bursts; rounds() counts
+  // them exactly (the histogram's low buckets are the uncontended case).
+  Backoff b;
+  for (unsigned i = 0; i < Backoff::kPauseRounds; ++i) b.pause();
+  EXPECT_EQ(b.rounds(), Backoff::kPauseRounds);
+  EXPECT_FALSE(b.should_park());  // default budget is larger
 }
 
 TEST(CacheLine, PaddedSlotsDoNotShareLines) {
