@@ -1,7 +1,10 @@
 // Table 2 — summary of experimental results: all five loops, their methods,
 // inputs, backup/time-stamp requirements, and the speedup at p = 8 on the
-// simulated machine next to the paper's Alliant FX/80 numbers.
+// simulated machine next to the paper's Alliant FX/80 numbers.  Also emits
+// BENCH_table2.json so CI can diff the measured column against the
+// committed reference.
 #include <cstdio>
+#include <fstream>
 
 #include "bench_common.hpp"
 #include "wlp/workloads/hb_generator.hpp"
@@ -25,12 +28,19 @@ int main() {
   TextTable table({"benchmark / loop", "technique", "input", "paper", "measured",
                    "backups+stamps"});
 
+  struct Row {
+    std::string loop, tech, input, undo;
+    double paper = 0, measured = 0;
+  };
+  std::vector<Row> rows;
+
   auto row = [&](const char* loop, const char* tech, const char* input,
                  double paper, const sim::LoopProfile& lp, Method m,
                  const sim::SimOptions& o, const char* undo) {
     const double s = sim.run(m, lp, 8, o).speedup;
     table.row({loop, tech, input, TextTable::num(paper, 1), TextTable::num(s, 2),
                undo});
+    rows.push_back({loop, tech, input, undo, paper, s});
   };
 
   // SPICE LOAD loop 40 — General-1 / General-3, RI, no undo machinery.
@@ -108,5 +118,33 @@ int main() {
       "\n'paper' = Alliant FX/80 measurement from the publication;\n"
       "'measured' = this library's runtime schedules executed on the simulated\n"
       "8-processor machine (see DESIGN.md, Substitutions).\n");
+
+  {
+    std::ofstream os("BENCH_table2.json");
+    if (!os) {
+      std::fprintf(stderr, "cannot open BENCH_table2.json\n");
+      return 1;
+    }
+    JsonWriter w(os);
+    w.begin_object();
+    w.kv("bench", "table2_summary");
+    w.kv("title", "Table 2: summary of experimental results (p = 8)");
+    w.kv("host_hw_concurrency", std::thread::hardware_concurrency());
+    w.key("rows").begin_array();
+    for (const Row& r : rows) {
+      w.begin_object();
+      w.kv("loop", r.loop);
+      w.kv("technique", r.tech);
+      w.kv("input", r.input);
+      w.kv("paper_at_8", r.paper);
+      w.kv("measured_at_8", r.measured);
+      w.kv("backups_and_stamps", r.undo);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    os << '\n';
+    std::printf("wrote BENCH_table2.json\n");
+  }
   return 0;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <limits>
 #include <map>
@@ -11,6 +12,7 @@
 #include <stdexcept>
 
 #include "wlp/core/shadow.hpp"
+#include "wlp/obs/obs.hpp"
 #include "wlp/sched/doacross.hpp"
 #include "wlp/sched/doall.hpp"
 #include "wlp/sched/parallel_prefix.hpp"
@@ -254,8 +256,15 @@ PlanExecution run_parallel_plan(ThreadPool& pool, const Loop& loop,
   st.plan = &plan;
   st.env = &env;
   st.pool = &pool;
+  // The entry-state copy is this scheme's checkpoint (Tb): measure it like
+  // the dense backup measures checkpoint().
+  const auto snap0 = std::chrono::steady_clock::now();
   st.entry_scalars = env.scalars;
   st.entry_arrays = env.arrays;
+  out.snapshot_ns = std::chrono::duration<double, std::nano>(
+                        std::chrono::steady_clock::now() - snap0)
+                        .count();
+  WLP_OBS_COUNT("wlp.undo.checkpoint_ns", static_cast<long>(out.snapshot_ns));
   st.logs.resize(pool.size());
   st.accessors.resize(pool.size());
 
@@ -413,6 +422,7 @@ PlanExecution run_parallel_plan(ThreadPool& pool, const Loop& loop,
   }
 
   // ---- undo/replay: apply only the writes valid under the final exits --------
+  const auto replay0 = std::chrono::steady_clock::now();
   std::vector<LoggedWrite> writes;
   for (auto& l : st.logs) {
     writes.insert(writes.end(), l.value.begin(), l.value.end());
@@ -431,6 +441,10 @@ PlanExecution run_parallel_plan(ThreadPool& pool, const Loop& loop,
     }
     env.arrays.at(*w.array)[static_cast<std::size_t>(w.idx)] = w.value;
   }
+  out.replay_ns = std::chrono::duration<double, std::nano>(
+                      std::chrono::steady_clock::now() - replay0)
+                      .count();
+  WLP_OBS_COUNT("wlp.undo.restore_ns", static_cast<long>(out.replay_ns));
 
   // ---- final scalar values ----------------------------------------------------
   for (const auto& [name, def_stmt] : st.def_of) {

@@ -43,6 +43,9 @@ struct PlanExecution {
   long doacross_parks = 0;    ///< futex sleeps in sequential-block pipelines
   long doacross_wait_rounds = 0;  ///< backoff rounds burned waiting on the
                                   ///< DOACROSS frontier (pipeline stall cost)
+  double snapshot_ns = 0;  ///< wall time copying entry state (the Tb term of
+                           ///< the plan's write-log undo scheme)
+  double replay_ns = 0;    ///< wall time in the undo/replay phase (Ta)
 };
 
 PlanExecution run_parallel_plan(ThreadPool& pool, const Loop& loop,

@@ -40,6 +40,13 @@ class LoopStatistics {
       marks_sum_ += r.shadow_marks;
       marked_iters_ += std::max(r.started, r.trip);
     }
+    if (r.used_checkpoint) {
+      // Measured Tb/Ta of the batched backup layer: feeds the cost model's
+      // measured_tb/measured_ta overrides instead of the O(a/p) worst case.
+      ++undo_samples_;
+      checkpoint_ns_sum_ += r.checkpoint_ns;
+      undo_ns_sum_ += r.undo_ns;
+    }
     WLP_OBS_HIST("wlp.adaptive.trip", r.trip);
   }
 
@@ -116,13 +123,35 @@ class LoopStatistics {
            static_cast<double>(marked_iters_);
   }
 
+  /// Mean measured checkpoint (Tb) and undo/restore (Ta) wall time per
+  /// checkpointed run, in seconds.  Negative when nothing was measured yet.
+  double mean_checkpoint_seconds() const noexcept {
+    return undo_samples_ > 0
+               ? checkpoint_ns_sum_ / static_cast<double>(undo_samples_) * 1e-9
+               : -1.0;
+  }
+  double mean_undo_seconds() const noexcept {
+    return undo_samples_ > 0
+               ? undo_ns_sum_ / static_cast<double>(undo_samples_) * 1e-9
+               : -1.0;
+  }
+
   /// Section 7 OverheadProfile built from what this site actually did:
-  /// measured marks/iteration scaled by the trip estimate.
+  /// measured marks/iteration scaled by the trip estimate, plus — once a
+  /// checkpointed run has been recorded — the MEASURED Tb/Ta, converted into
+  /// the LoopTiming's units via `seconds_per_unit` (the wall time one
+  /// LoopTiming unit represents; 0 keeps the a/p model terms).
   OverheadProfile observed_profile(bool pd_test = true, bool needs_undo = true,
-                                   double access_cost = 1.0) const {
-    return observed_overheads(marks_per_iteration(),
-                              static_cast<double>(estimated_trip()), pd_test,
-                              needs_undo, access_cost);
+                                   double access_cost = 1.0,
+                                   double seconds_per_unit = 0.0) const {
+    OverheadProfile o = observed_overheads(
+        marks_per_iteration(), static_cast<double>(estimated_trip()), pd_test,
+        needs_undo, access_cost);
+    if (seconds_per_unit > 0 && undo_samples_ > 0) {
+      o.measured_tb = mean_checkpoint_seconds() / seconds_per_unit;
+      o.measured_ta = mean_undo_seconds() / seconds_per_unit;
+    }
+    return o;
   }
 
   /// Empirical probability a speculation on this loop succeeds.
@@ -159,6 +188,9 @@ class LoopStatistics {
   long cost_samples_ = 0;
   double cost_mean_ = 0;
   double cost_m2_ = 0;
+  long undo_samples_ = 0;
+  double checkpoint_ns_sum_ = 0;
+  double undo_ns_sum_ = 0;
 };
 
 }  // namespace wlp

@@ -34,9 +34,12 @@ OverheadTerms overhead_terms(const OverheadProfile& o, unsigned p, double spid) 
   const double a = static_cast<double>(o.accesses) * o.access_cost;
   const double pd = static_cast<double>(p);
   if (o.needs_undo) {
-    // Checkpoint before and undo after: both fully parallel, O(a/p).
-    terms.t_b = a / pd;
-    terms.t_a = a / pd;
+    // Checkpoint before and undo after: both fully parallel, O(a/p) — unless
+    // the runtime supplied measured values, in which case the batched
+    // implementation's real cost replaces the model term (the PD analysis
+    // term below stays additive either way).
+    terms.t_b = o.measured_tb >= 0 ? o.measured_tb : a / pd;
+    terms.t_a = o.measured_ta >= 0 ? o.measured_ta : a / pd;
   }
   // During-loop bookkeeping (time-stamps and/or shadow marks — one O(1)
   // operation per access either way) parallelizes only as far as the loop
@@ -77,13 +80,16 @@ Prediction predict(const LoopTiming& t, const OverheadProfile& o, unsigned p,
 
 OverheadProfile observed_overheads(double marks_per_iteration,
                                    double expected_trip, bool pd_test,
-                                   bool needs_undo, double access_cost) {
+                                   bool needs_undo, double access_cost,
+                                   double measured_tb, double measured_ta) {
   OverheadProfile o;
   o.accesses = static_cast<long>(std::max(0.0, marks_per_iteration) *
                                  std::max(0.0, expected_trip));
   o.access_cost = access_cost;
   o.pd_test = pd_test;
   o.needs_undo = needs_undo;
+  o.measured_tb = measured_tb;
+  o.measured_ta = measured_ta;
   return o;
 }
 

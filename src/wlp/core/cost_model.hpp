@@ -29,6 +29,13 @@ struct OverheadProfile {
   double access_cost = 1.0; ///< cost of one bookkeeping operation
   bool pd_test = false;     ///< shadow marking + post-analysis applied
   bool needs_undo = false;  ///< checkpoint before + undo after
+  /// MEASURED before/after terms (same units as the LoopTiming the profile
+  /// is predicted against; negative = not measured, fall back to the a/p
+  /// model).  The runtime reports these per run (ExecReport::checkpoint_ns /
+  /// undo_ns); LoopStatistics averages them so predictions use the batched
+  /// implementation's real Tb/Ta instead of the paper's worst-case O(a/p).
+  double measured_tb = -1.0;
+  double measured_ta = -1.0;
 };
 
 struct Prediction {
@@ -81,9 +88,13 @@ Prediction predict(const LoopTiming& t, const OverheadProfile& o, unsigned p,
 /// over started iterations — the accessor's last-writer filter means this is
 /// usually well below the static access count), and `expected_trip` the
 /// trip estimate the prediction is being made for.
+/// `measured_tb` / `measured_ta` (optional, negative = unmeasured) carry the
+/// runtime's observed checkpoint/undo cost straight into the profile.
 OverheadProfile observed_overheads(double marks_per_iteration,
                                    double expected_trip, bool pd_test,
-                                   bool needs_undo, double access_cost = 1.0);
+                                   bool needs_undo, double access_cost = 1.0,
+                                   double measured_tb = -1.0,
+                                   double measured_ta = -1.0);
 
 /// Branch statistics for the termination condition (Section 7: "the
 /// compiler could predict the number of iterations using branch statistics").

@@ -50,10 +50,14 @@ struct ExecReport {
   long dispatcher_steps = 0;  ///< total recurrence evaluations (hops) across
                               ///< all processors; ~trip for General-1/3,
                               ///< ~p*trip for General-2
+  double checkpoint_ns = 0;  ///< measured wall time snapshotting state (Tb)
+  double undo_ns = 0;        ///< measured wall time undoing/restoring (Ta)
   bool used_checkpoint = false;
   bool used_stamps = false;
   bool pd_tested = false;
   bool pd_passed = true;
+  bool backup_overflow = false;  ///< sparse backup hit capacity; the run was
+                                 ///< abandoned like a failed PD test
   bool reexecuted_sequentially = false;  ///< speculation failed, ran serial
 };
 

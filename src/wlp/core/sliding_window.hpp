@@ -11,6 +11,7 @@
 
 #include <algorithm>
 #include <condition_variable>
+#include <functional>
 #include <limits>
 #include <mutex>
 #include <span>
@@ -30,6 +31,13 @@ struct WindowOptions {
   long max_window = 1 << 20;
   std::size_t bytes_per_iteration = 0;  ///< stamp memory one iteration pins
   std::size_t memory_budget = 0;        ///< 0 disables dynamic adjustment
+  /// MEASURED backup footprint, polled at every claim: when set, the
+  /// controller compares this against the budget instead of multiplying the
+  /// span by the bytes_per_iteration guess.  The speculative wrapper wires
+  /// it to the targets' memory_bytes() (sparse backups report their live
+  /// touched set, dense ones their data+backup+stamp footprint), so the
+  /// window reacts to what the backups actually pinned.
+  std::function<std::size_t()> live_bytes;
   /// Claim granularity inside the window.  kDynamic issues one iteration
   /// per grab (the original Section 8.2 behavior); kGuided claims
   /// min(remaining/p, window slack) per grab, cutting the lock round-trips
@@ -98,9 +106,14 @@ WindowReport sliding_window_while(ThreadPool& pool, long u, Body&& body,
         ++claims;
         max_span = std::max(max_span, next - low);
         WLP_TRACE_INSTANT("window.claim", base, take);
-        if (opts.memory_budget != 0 && opts.bytes_per_iteration != 0) {
+        if (opts.memory_budget != 0 &&
+            (opts.live_bytes || opts.bytes_per_iteration != 0)) {
+          // Prefer the measured footprint over the per-iteration guess.
           const std::size_t in_use =
-              static_cast<std::size_t>(next - low) * opts.bytes_per_iteration;
+              opts.live_bytes
+                  ? opts.live_bytes()
+                  : static_cast<std::size_t>(next - low) *
+                        opts.bytes_per_iteration;
           peak_bytes = std::max(peak_bytes, in_use);
           // Multiplicative decrease when occupancy approaches the budget,
           // additive increase while comfortably under it — always inside
@@ -176,9 +189,24 @@ WindowReport sliding_window_speculative_while(
     Body&& body, SeqRun&& run_sequential, WindowOptions wopts = {},
     bool undo_in_parallel = true) {
   WLP_TRACE_SCOPE("window.spec", u, wopts.window);
-  for (SpecTarget* t : targets) {
-    t->reset_marks();
-    t->checkpoint();
+  double checkpoint_ns = 0;
+  {
+    const auto cp0 = std::chrono::steady_clock::now();
+    for (SpecTarget* t : targets) {
+      t->reset_marks();
+      t->checkpoint(&pool);
+    }
+    checkpoint_ns = detail::spec_ns_since(cp0);
+  }
+  // Feed the budget controller the backups' MEASURED footprint (Section 8.2
+  // against real bytes): sparse targets grow as locations are touched, so
+  // the window shrinks when the backup — not a guess — nears the budget.
+  if (wopts.memory_budget != 0 && !wopts.live_bytes) {
+    wopts.live_bytes = [targets] {
+      std::size_t b = 0;
+      for (SpecTarget* t : targets) b += t->memory_bytes();
+      return b;
+    };
   }
 
   bool failed = false;
@@ -192,9 +220,17 @@ WindowReport sliding_window_speculative_while(
   wr.exec.method = Method::kSlidingWindow;
   wr.exec.used_checkpoint = true;
   wr.exec.used_stamps = true;
+  wr.exec.checkpoint_ns = checkpoint_ns;
 
   for (SpecTarget* t : targets) wr.exec.shadow_marks += t->marks();
   WLP_OBS_COUNT("wlp.pd.marks", wr.exec.shadow_marks);
+
+  for (SpecTarget* t : targets)
+    if (t->overflowed()) {
+      wr.exec.backup_overflow = true;
+      failed = true;
+      WLP_OBS_COUNT("wlp.spec.backup_overflow", 1);
+    }
 
   if (!failed) {
     WLP_TRACE_SCOPE("pd.analyze", wr.exec.trip, 0);
@@ -213,15 +249,21 @@ WindowReport sliding_window_speculative_while(
 
   if (failed) {
     WLP_OBS_COUNT("wlp.spec.seq_reexec", 1);
-    for (SpecTarget* t : targets) t->restore_all();
+    const auto ra0 = std::chrono::steady_clock::now();
+    for (SpecTarget* t : targets) t->restore_all(&pool);
+    wr.exec.undo_ns = detail::spec_ns_since(ra0);
     wr.exec.reexecuted_sequentially = true;
     wr.exec.trip = run_sequential();
     return wr;
   }
 
-  for (SpecTarget* t : targets)
-    wr.exec.undone_writes +=
-        t->undo_beyond(wr.exec.trip, undo_in_parallel ? &pool : nullptr);
+  {
+    const auto ud0 = std::chrono::steady_clock::now();
+    for (SpecTarget* t : targets)
+      wr.exec.undone_writes +=
+          t->undo_beyond(wr.exec.trip, undo_in_parallel ? &pool : nullptr);
+    wr.exec.undo_ns = detail::spec_ns_since(ud0);
+  }
   WLP_OBS_HIST("wlp.spec.undo_writes", wr.exec.undone_writes);
   return wr;
 }

@@ -7,15 +7,31 @@
 // map from array index to (pre-loop value, max writer stamp).  The first
 // writer of a location claims a slot and saves the old value; subsequent
 // writers only raise the stamp.
+//
+// Epoch-stamped slots: both the slot tag ((epoch << 32) | (key + 1)) and the
+// writer stamp ((epoch << 32) | (iter + 1)) carry the table's clear-epoch in
+// their high bits, so clear() is an O(1) epoch bump instead of an O(capacity)
+// sweep — the same generation trick the PD shadow and VersionedArray use.  A
+// slot whose tag epoch is stale is free for claiming; a real sweep happens
+// once per 2^32 clears, when the 32-bit epoch wraps.  Because the epoch only
+// grows between sweeps, the stamp's numeric fetch-max stays exact even when a
+// slot is reclaimed: every current-epoch stamp dominates every stale one.
+//
+// Capacity exhaustion does NOT throw: record() returns false and latches a
+// per-run overflow flag.  Throwing here would unwind through a pool worker
+// and terminate at the join; instead the speculative drivers check
+// overflowed() after the parallel section and fall back to the dense
+// VersionedArray path (the caller skips its data write when record() fails,
+// so the recorded set still restores the exact pre-loop state).
 #pragma once
 
 #include <atomic>
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
-#include <stdexcept>
 #include <vector>
 
+#include "wlp/sched/reduce.hpp"
 #include "wlp/support/prng.hpp"
 
 namespace wlp {
@@ -23,7 +39,10 @@ namespace wlp {
 template <class T>
 class HashBackup {
  public:
-  static constexpr std::size_t kEmpty = static_cast<std::size_t>(-1);
+  /// Largest recordable array index: the packed tag keeps (key + 1) in 32
+  /// bits.  Arrays past 4G elements would not want a sparse backup anyway.
+  static constexpr std::size_t kMaxKey = 0xfffffffeu;
+  static constexpr long kMaxIter = 0xfffffffeL;
 
   /// `capacity` is rounded up to a power of two and should exceed the
   /// expected number of *distinct* written locations by ~2x.
@@ -38,33 +57,53 @@ class HashBackup {
   /// current (possibly pre-loop) value is `old_value`.  Only the first
   /// recorder's old value is kept — by construction that is the pre-loop
   /// value, because every writer records before writing.
-  void record(long iter, std::size_t idx, const T& old_value) {
-    Slot& s = find_or_claim(idx, &old_value);
-    // fetch-max on the stamp
-    long cur = s.stamp.load(std::memory_order_relaxed);
-    while (iter > cur &&
-           !s.stamp.compare_exchange_weak(cur, iter, std::memory_order_acq_rel)) {
+  ///
+  /// Returns false when the table is full: the entry was NOT recorded and
+  /// overflowed() is latched.  The caller must then skip its own data write
+  /// so restore_all_into() can still reproduce the pre-loop state.
+  bool record(long iter, std::size_t idx, const T& old_value) {
+    Slot* s = find_or_claim(idx, &old_value);
+    if (s == nullptr) {
+      overflow_.store(true, std::memory_order_relaxed);
+      return false;
     }
+    // fetch-max on the packed stamp; stale-epoch residue is numerically
+    // smaller than any current-epoch value, so plain max is exact.
+    const std::uint64_t want = pack_stamp(iter);
+    std::uint64_t cur = s->stamp.load(std::memory_order_relaxed);
+    while (want > cur && !s->stamp.compare_exchange_weak(
+                             cur, want, std::memory_order_acq_rel)) {
+    }
+    return true;
+  }
+
+  /// Did any record() since the last clear() hit capacity?
+  bool overflowed() const noexcept {
+    return overflow_.load(std::memory_order_relaxed);
   }
 
   /// Restore into `data` every recorded location whose stamp >= trip.
-  /// Returns the number restored.
-  long undo_into(std::vector<T>& data, long trip) {
-    long undone = 0;
-    for (auto& s : slots_) {
-      const std::size_t key = s.key.load(std::memory_order_acquire);
-      if (key == kEmpty) continue;
-      if (s.stamp.load(std::memory_order_relaxed) >= trip) {
-        data[key] = s.saved;
-        ++undone;
-      }
+  /// With a pool, the slot range is partitioned across the workers (distinct
+  /// keys live in distinct slots, so writers never collide).  Returns the
+  /// number restored.
+  long undo_into(std::vector<T>& data, long trip, ThreadPool* pool = nullptr) {
+    const std::uint64_t threshold = stamp_threshold(trip);
+    const long nslots = static_cast<long>(slots_.size());
+    if (pool != nullptr && nslots > 1) {
+      constexpr long kChunk = 1024;  // slots per claimed range
+      const long nchunks = (nslots + kChunk - 1) / kChunk;
+      return parallel_sum<long>(*pool, 0, nchunks, [&](long c) {
+        const long lo = c * kChunk;
+        const long hi = lo + kChunk < nslots ? lo + kChunk : nslots;
+        return undo_range(data, threshold, lo, hi);
+      });
     }
-    return undone;
+    return undo_range(data, threshold, 0, nslots);
   }
 
   /// Restore everything recorded (failed speculation).
-  long restore_all_into(std::vector<T>& data) {
-    return undo_into(data, -1);
+  long restore_all_into(std::vector<T>& data, ThreadPool* pool = nullptr) {
+    return undo_into(data, -1, pool);
   }
 
   std::size_t entries() const noexcept {
@@ -73,13 +112,13 @@ class HashBackup {
 
   std::size_t capacity() const noexcept { return slots_.size(); }
 
-  /// Drop every recorded entry (commit point in strip-wise drivers).
+  /// Drop every recorded entry (commit point in strip-wise drivers): an O(1)
+  /// epoch bump.  Slots stamped with older epochs read as free.
   void clear() noexcept {
-    for (auto& s : slots_) {
-      s.key.store(kEmpty, std::memory_order_relaxed);
-      s.stamp.store(-1, std::memory_order_relaxed);
-    }
+    if (++epoch_ == 0) sweep_epochs();
     occupied_.store(0, std::memory_order_relaxed);
+    overflow_.store(false, std::memory_order_relaxed);
+    ++resets_;
   }
 
   /// Bytes of backup state actually in use — the quantity the Section 8
@@ -88,46 +127,105 @@ class HashBackup {
     return entries() * sizeof(Slot);
   }
 
+  long resets() const noexcept { return resets_; }
+  long sweeps() const noexcept { return sweeps_; }
+
+  /// Test hook: jump the epoch close to the 32-bit wrap so a test can force
+  /// the once-per-2^32 sweep without 4G clears.
+  void set_epoch_for_test(std::uint32_t e) noexcept {
+    sweep_epochs();
+    epoch_ = e;
+  }
+
  private:
   struct Slot {
-    std::atomic<std::size_t> key{kEmpty};
-    std::atomic<long> stamp{-1};
+    /// (epoch << 32) | (key + 1); 0 or a stale epoch = free.
+    std::atomic<std::uint64_t> tag{0};
+    /// (epoch << 32) | (iter + 1); raised by fetch-max.
+    std::atomic<std::uint64_t> stamp{0};
     T saved{};
   };
 
-  Slot& find_or_claim(std::size_t idx, const T* old_value) {
+  std::uint64_t pack_tag(std::size_t idx) const noexcept {
+    assert(idx <= kMaxKey);
+    return (static_cast<std::uint64_t>(epoch_) << 32) |
+           static_cast<std::uint64_t>(static_cast<std::uint32_t>(idx + 1));
+  }
+
+  std::uint64_t pack_stamp(long iter) const noexcept {
+    assert(iter >= 0 && iter <= kMaxIter);
+    return (static_cast<std::uint64_t>(epoch_) << 32) |
+           static_cast<std::uint64_t>(static_cast<std::uint32_t>(iter + 1));
+  }
+
+  std::uint64_t stamp_threshold(long trip) const noexcept {
+    if (trip < 0) trip = -1;
+    const std::uint64_t low =
+        trip >= kMaxIter ? (1ull << 32) : static_cast<std::uint64_t>(trip + 1);
+    return (static_cast<std::uint64_t>(epoch_) << 32) + low;
+  }
+
+  long undo_range(std::vector<T>& data, std::uint64_t threshold, long lo,
+                  long hi) noexcept {
+    long undone = 0;
+    for (long i = lo; i < hi; ++i) {
+      Slot& s = slots_[static_cast<std::size_t>(i)];
+      const std::uint64_t tag = s.tag.load(std::memory_order_acquire);
+      if ((tag >> 32) != epoch_) continue;  // free or stale slot
+      if (s.stamp.load(std::memory_order_relaxed) >= threshold) {
+        data[static_cast<std::size_t>(tag & 0xffffffffu) - 1] = s.saved;
+        ++undone;
+      }
+    }
+    return undone;
+  }
+
+  /// Returns the slot owning `idx`, claiming a free/stale one if needed, or
+  /// nullptr when every slot on the probe path is live with another key.
+  Slot* find_or_claim(std::size_t idx, const T* old_value) {
+    const std::uint64_t want_tag = pack_tag(idx);
     std::size_t h = static_cast<std::size_t>(mix64(idx)) & mask_;
     for (std::size_t probes = 0; probes <= mask_; ++probes) {
       Slot& s = slots_[h];
-      std::size_t key = s.key.load(std::memory_order_acquire);
-      if (key == idx) return s;
-      if (key == kEmpty) {
-        // Write the payload first, then publish the key: a reader that sees
-        // the key (via acquire) also sees the saved value.
-        std::size_t expected = kEmpty;
-        // Claim attempt: we must not write `saved` before owning the slot,
-        // so claim with a reserved marker first is overkill here — instead
-        // CAS the key last but stage the value through a per-slot race:
-        // only the winning CAS's thread writes `saved` (losers retry), and
-        // undo_into runs after the parallel section (happens-before via the
-        // pool join), so the value is visible by then.
-        if (s.key.compare_exchange_strong(expected, idx,
+      std::uint64_t tag = s.tag.load(std::memory_order_acquire);
+      if (tag == want_tag) return &s;
+      if ((tag >> 32) != epoch_) {
+        // Free (or stale-epoch) slot: claim it by publishing the tag first;
+        // only the CAS winner writes `saved` (losers for the same key return
+        // the slot and never touch the payload).  undo_into runs after the
+        // parallel section, so the pool join publishes the value.
+        if (s.tag.compare_exchange_strong(tag, want_tag,
                                           std::memory_order_acq_rel)) {
           s.saved = *old_value;
           occupied_.fetch_add(1, std::memory_order_relaxed);
-          return s;
+          return &s;
         }
-        if (expected == idx) return s;  // someone else claimed it for us
-        // else: claimed for a different index; keep probing
+        if (tag == want_tag) return &s;  // someone claimed it for our key
+        // else: claimed for a different key; keep probing
       }
       h = (h + 1) & mask_;
     }
-    throw std::runtime_error("HashBackup: capacity exhausted");
+    return nullptr;
+  }
+
+  /// Once per 2^32 clears: genuinely forget every slot by storing the
+  /// reserved epoch 0, then restart the counter above it.
+  void sweep_epochs() noexcept {
+    for (auto& s : slots_) {
+      s.tag.store(0, std::memory_order_relaxed);
+      s.stamp.store(0, std::memory_order_relaxed);
+    }
+    epoch_ = 1;
+    ++sweeps_;
   }
 
   std::vector<Slot> slots_;
   std::size_t mask_ = 0;
+  std::uint32_t epoch_ = 1;  ///< 0 is reserved for "never claimed"
   std::atomic<std::size_t> occupied_{0};
+  std::atomic<bool> overflow_{false};
+  long resets_ = 0;
+  long sweeps_ = 0;
 };
 
 }  // namespace wlp

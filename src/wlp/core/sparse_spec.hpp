@@ -52,7 +52,11 @@ class SparseSpecArray final : public SpecTarget {
 
   void set(unsigned vpn, long iter, std::size_t idx, const T& v) {
     if (pd_) accessors_[vpn].on_write(idx);
-    backup_.record(iter, idx, data_[idx]);  // save-before-write
+    // Save-before-write; when the backup is full the data write is SKIPPED,
+    // so every mutation stays recorded and restore_all() can still
+    // reconstruct the exact pre-loop state.  The driver sees overflowed()
+    // after the run and falls back to sequential re-execution.
+    if (!backup_.record(iter, idx, data_[idx])) return;
     data_[idx] = v;
   }
 
@@ -63,11 +67,15 @@ class SparseSpecArray final : public SpecTarget {
 
   // ---- SpecTarget ----------------------------------------------------------
 
-  void checkpoint() override {}  // incremental: nothing to do up front
-  long undo_beyond(long trip, ThreadPool* /*pool*/) override {
-    return backup_.undo_into(data_, trip);
+  void checkpoint(ThreadPool*) override {}  // incremental: nothing up front
+  long undo_beyond(long trip, ThreadPool* pool) override {
+    return backup_.undo_into(data_, trip, pool);
   }
-  void restore_all() override { backup_.restore_all_into(data_); }
+  void restore_all(ThreadPool* pool) override {
+    backup_.restore_all_into(data_, pool);
+  }
+  bool overflowed() const override { return backup_.overflowed(); }
+  std::size_t memory_bytes() const override { return backup_.memory_bytes(); }
   bool shadowed() const override { return pd_; }
   PDVerdict analyze(ThreadPool& pool, long trip) const override {
     return shadow_.analyze(pool, trip);

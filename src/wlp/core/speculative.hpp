@@ -12,6 +12,7 @@
 //     restored from the checkpoint and the loop re-executes sequentially.
 #pragma once
 
+#include <chrono>
 #include <memory>
 #include <span>
 #include <vector>
@@ -21,6 +22,7 @@
 #include "wlp/core/shadow.hpp"
 #include "wlp/core/versioned_array.hpp"
 #include "wlp/sched/doall.hpp"
+#include "wlp/support/cacheline.hpp"
 
 namespace wlp {
 
@@ -28,18 +30,37 @@ namespace wlp {
 class SpecTarget {
  public:
   virtual ~SpecTarget() = default;
-  virtual void checkpoint() = 0;
+  /// Snapshot before the speculative run (the Tb term).  The pool, when
+  /// given, parallelizes the copy; nullptr keeps it serial.
+  virtual void checkpoint(ThreadPool* pool) = 0;
   virtual long undo_beyond(long trip, ThreadPool* pool) = 0;
-  virtual void restore_all() = 0;
+  virtual void restore_all(ThreadPool* pool) = 0;
   virtual bool shadowed() const = 0;
   virtual PDVerdict analyze(ThreadPool& pool, long trip) const = 0;
   virtual void reset_marks() = 0;
   /// Shadow marks recorded since the last reset_marks() (0 if not shadowed).
   virtual long marks() const { return 0; }
+  /// Did the backup lose a write since the last reset_marks()?  A sparse
+  /// backup that hits capacity latches this instead of throwing from a pool
+  /// worker; the drivers treat it exactly like a failed PD test (restore and
+  /// re-execute sequentially — the dense path never overflows).
+  virtual bool overflowed() const { return false; }
+  /// Bytes of state this target pins right now (data + backup + stamps): the
+  /// quantity the Section 8.2 window budget controller charges, replacing
+  /// the window's bytes-per-iteration guess.
+  virtual std::size_t memory_bytes() const { return 0; }
   /// Commit: the speculation succeeded with no overshoot in this region,
   /// the backup state can be dropped (strip-by-strip drivers use this).
   virtual void discard() = 0;
 };
+
+namespace detail {
+inline double spec_ns_since(std::chrono::steady_clock::time_point t0) noexcept {
+  return std::chrono::duration<double, std::nano>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+}  // namespace detail
 
 /// A shared array under speculation: versioned data + (optionally) a PD
 /// shadow with one accessor per worker.  Loop bodies use the vpn-qualified
@@ -63,6 +84,9 @@ class SpecArray final : public SpecTarget {
       for (unsigned w = 0; w < workers; ++w)
         accessors_.emplace_back(shadow_, array_.size(), w);
     }
+    writers_.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w)
+      writers_.emplace_back(array_.writer());
   }
 
   // ---- body-side API -----------------------------------------------------
@@ -79,7 +103,9 @@ class SpecArray final : public SpecTarget {
 
   void set(unsigned vpn, long iter, std::size_t idx, const T& v) {
     if (pd_) accessors_[vpn].on_write(idx);
-    array_.write(iter, idx, v);
+    // Per-worker Writer view: consecutive writes into the same 64-element
+    // block skip the dirty-summary publication entirely.
+    writers_[static_cast<std::size_t>(vpn)].value.write(iter, idx, v);
   }
 
   // ---- sequential-side API (fallback path, verification) ------------------
@@ -89,11 +115,11 @@ class SpecArray final : public SpecTarget {
 
   // ---- SpecTarget ----------------------------------------------------------
 
-  void checkpoint() override { array_.checkpoint(); }
+  void checkpoint(ThreadPool* pool) override { array_.checkpoint(pool); }
   long undo_beyond(long trip, ThreadPool* pool) override {
     return array_.undo_beyond(trip, pool);
   }
-  void restore_all() override { array_.restore_all(); }
+  void restore_all(ThreadPool* pool) override { array_.restore_all(pool); }
   bool shadowed() const override { return pd_; }
   PDVerdict analyze(ThreadPool& pool, long trip) const override {
     return shadow_.analyze(pool, trip);
@@ -101,20 +127,29 @@ class SpecArray final : public SpecTarget {
   void reset_marks() override {
     shadow_.reset();  // O(1) epoch bump for the privatized policy
     for (auto& a : accessors_) a.reset();
-    array_.clear_stamps();
+    array_.clear_stamps();  // O(1) epoch bump too
+    // The Writers' cached blocks belong to the dead epoch: rebind so the
+    // first write of the new run re-publishes its dirty bit.
+    for (auto& w : writers_) w.value.rebind();
   }
   long marks() const override {
     long m = 0;
     for (const auto& a : accessors_) m += a.marks();
     return m;
   }
+  std::size_t memory_bytes() const override { return array_.memory_bytes(); }
   void discard() override { array_.discard_checkpoint(); }
+
+  UndoStats undo_stats() const { return array_.stats(); }
 
  private:
   VersionedArray<T> array_;
   bool pd_;
   Shadow shadow_;
   std::vector<PDAccessorT<Shadow>> accessors_;
+  /// One dirty-block-caching write view per worker, cache-line padded (the
+  /// cached block index mutates on nearly every write).
+  std::vector<Padded<typename VersionedArray<T>::Writer>> writers_;
 };
 
 struct SpecOptions {
@@ -142,10 +177,12 @@ ExecReport speculative_while(ThreadPool& pool, long u,
 
   {
     WLP_TRACE_SCOPE("spec.checkpoint", u, 0);
+    const auto cp0 = std::chrono::steady_clock::now();
     for (SpecTarget* t : targets) {
       t->reset_marks();
-      t->checkpoint();
+      t->checkpoint(&pool);
     }
+    r.checkpoint_ns = detail::spec_ns_since(cp0);
   }
 
   bool failed = false;
@@ -163,6 +200,17 @@ ExecReport speculative_while(ThreadPool& pool, long u,
   // path, regardless of whether the speculation succeeds.
   for (SpecTarget* t : targets) r.shadow_marks += t->marks();
   WLP_OBS_COUNT("wlp.pd.marks", r.shadow_marks);
+
+  // A sparse backup that hit capacity dropped writes: the parallel execution
+  // is incomplete regardless of what the PD test would say.  Treat it like a
+  // failed speculation (the backup still restores the exact pre-loop state,
+  // because overflowing writers skipped their data store too).
+  for (SpecTarget* t : targets)
+    if (t->overflowed()) {
+      r.backup_overflow = true;
+      failed = true;
+      WLP_OBS_COUNT("wlp.spec.backup_overflow", 1);
+    }
 
   if (!failed) {
     r.trip = qr.trip;
@@ -186,7 +234,9 @@ ExecReport speculative_while(ThreadPool& pool, long u,
   if (failed) {
     WLP_TRACE_SCOPE("spec.seq_reexec", u, 0);
     WLP_OBS_COUNT("wlp.spec.seq_reexec", 1);
-    for (SpecTarget* t : targets) t->restore_all();
+    const auto ra0 = std::chrono::steady_clock::now();
+    for (SpecTarget* t : targets) t->restore_all(&pool);
+    r.undo_ns = detail::spec_ns_since(ra0);
     r.reexecuted_sequentially = true;
     r.trip = run_sequential();
     return r;
@@ -194,9 +244,11 @@ ExecReport speculative_while(ThreadPool& pool, long u,
 
   {
     WLP_TRACE_SCOPE_NAMED(undo_scope, "undo", qr.trip, 0);
+    const auto ud0 = std::chrono::steady_clock::now();
     for (SpecTarget* t : targets)
       r.undone_writes +=
           t->undo_beyond(qr.trip, opts.undo_in_parallel ? &pool : nullptr);
+    r.undo_ns = detail::spec_ns_since(ud0);
     undo_scope.args(static_cast<std::uint64_t>(qr.trip),
                     static_cast<std::uint64_t>(r.undone_writes));
   }

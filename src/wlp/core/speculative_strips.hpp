@@ -61,9 +61,13 @@ StripSpecReport strip_speculative_while(ThreadPool& pool, long u, long strip,
     WLP_TRACE_SCOPE("strip", base, end - base);
     WLP_OBS_COUNT("wlp.strip.runs", 1);
 
-    for (SpecTarget* t : targets) {
-      t->reset_marks();
-      t->checkpoint();
+    {
+      const auto cp0 = std::chrono::steady_clock::now();
+      for (SpecTarget* t : targets) {
+        t->reset_marks();  // O(1) epoch bump; no allocation in steady state
+        t->checkpoint(&pool);
+      }
+      out.exec.checkpoint_ns += detail::spec_ns_since(cp0);
     }
 
     bool failed = false;
@@ -82,6 +86,15 @@ StripSpecReport strip_speculative_while(ThreadPool& pool, long u, long strip,
     out.exec.shadow_marks += strip_marks;
     WLP_OBS_COUNT("wlp.pd.marks", strip_marks);
 
+    // Backup overflow inside the strip = incomplete parallel execution:
+    // fail the strip exactly like a PD miss (restore + serial re-run).
+    for (SpecTarget* t : targets)
+      if (t->overflowed()) {
+        out.exec.backup_overflow = true;
+        failed = true;
+        WLP_OBS_COUNT("wlp.spec.backup_overflow", 1);
+      }
+
     if (!failed) {
       for (SpecTarget* t : targets) {
         if (!t->shadowed()) continue;
@@ -96,7 +109,9 @@ StripSpecReport strip_speculative_while(ThreadPool& pool, long u, long strip,
     if (failed) {
       ++out.strips_failed;
       WLP_OBS_COUNT("wlp.strip.failures", 1);
-      for (SpecTarget* t : targets) t->restore_all();
+      const auto ra0 = std::chrono::steady_clock::now();
+      for (SpecTarget* t : targets) t->restore_all(&pool);
+      out.exec.undo_ns += detail::spec_ns_since(ra0);
       const long trip = run_strip_sequential(base, end);
       out.exec.started += trip - base;
       if (trip < end) {
@@ -111,9 +126,11 @@ StripSpecReport strip_speculative_while(ThreadPool& pool, long u, long strip,
     if (qr.trip < end) {  // the loop genuinely ends inside this strip
       {
         WLP_TRACE_SCOPE_NAMED(undo_scope, "undo", qr.trip, 0);
+        const auto ud0 = std::chrono::steady_clock::now();
         for (SpecTarget* t : targets)
           out.exec.undone_writes +=
               t->undo_beyond(qr.trip, opts.undo_in_parallel ? &pool : nullptr);
+        out.exec.undo_ns += detail::spec_ns_since(ud0);
         undo_scope.args(static_cast<std::uint64_t>(qr.trip),
                         static_cast<std::uint64_t>(out.exec.undone_writes));
       }

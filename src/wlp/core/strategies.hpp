@@ -113,9 +113,13 @@ ExecReport stats_enhanced_while(ThreadPool& pool, long u, StampThreshold thresho
   r.used_checkpoint = true;
   r.used_stamps = true;
 
-  for (SpecTarget* t : targets) {
-    t->reset_marks();
-    t->checkpoint();
+  {
+    const auto cp0 = std::chrono::steady_clock::now();
+    for (SpecTarget* t : targets) {
+      t->reset_marks();
+      t->checkpoint(&pool);
+    }
+    r.checkpoint_ns = detail::spec_ns_since(cp0);
   }
 
   const QuitResult qr = doall_quit(
@@ -129,12 +133,21 @@ ExecReport stats_enhanced_while(ThreadPool& pool, long u, StampThreshold thresho
   for (SpecTarget* t : targets) r.shadow_marks += t->marks();
   WLP_OBS_COUNT("wlp.pd.marks", r.shadow_marks);
 
-  if (qr.trip < threshold.value) {
-    // The estimate was wrong on the short side: unstamped overshot writes
-    // exist, so selective undo is impossible.
+  bool abandon = qr.trip < threshold.value;
+  for (SpecTarget* t : targets)
+    if (t->overflowed()) {
+      r.backup_overflow = true;
+      abandon = true;
+      WLP_OBS_COUNT("wlp.spec.backup_overflow", 1);
+    }
+  if (abandon) {
+    // The estimate was wrong on the short side (unstamped overshot writes
+    // exist, so selective undo is impossible) or the backup dropped writes.
     WLP_OBS_COUNT("wlp.spec.abandoned", 1);
     WLP_TRACE_SCOPE("spec.seq_reexec", u, 0);
-    for (SpecTarget* t : targets) t->restore_all();
+    const auto ra0 = std::chrono::steady_clock::now();
+    for (SpecTarget* t : targets) t->restore_all(&pool);
+    r.undo_ns = detail::spec_ns_since(ra0);
     r.reexecuted_sequentially = true;
     r.trip = run_sequential();
     return r;
@@ -142,9 +155,11 @@ ExecReport stats_enhanced_while(ThreadPool& pool, long u, StampThreshold thresho
 
   {
     WLP_TRACE_SCOPE_NAMED(undo_scope, "undo", qr.trip, 0);
+    const auto ud0 = std::chrono::steady_clock::now();
     for (SpecTarget* t : targets)
       r.undone_writes +=
           t->undo_beyond(qr.trip, opts.undo_in_parallel ? &pool : nullptr);
+    r.undo_ns = detail::spec_ns_since(ud0);
     undo_scope.args(static_cast<std::uint64_t>(qr.trip),
                     static_cast<std::uint64_t>(r.undone_writes));
   }

@@ -5,7 +5,8 @@
 // iteration that wrote it (a time-stamp), and after the loop — once the last
 // valid iteration is known — restore every location whose stamp belongs to
 // an overshot iteration.  The paper notes the 3x memory cost (data +
-// checkpoint + stamps); the sparse alternative lives in sparse_backup.hpp.
+// checkpoint + stamps, measured exactly by memory_bytes()); the sparse
+// alternative lives in sparse_backup.hpp.
 //
 // The write-once-per-location property the paper assumes ("since all
 // iterations of the WHILE loop are independent, each memory location will be
@@ -13,27 +14,110 @@
 // stamp kept is the *maximum* writer iteration, so undo_beyond() restores a
 // location if any overshot iteration touched it.  Violations of the
 // assumption are exactly what the PD test (Section 5) detects.
+//
+// Block-batched layout (the Tb/Ta terms of Section 7, paid per speculative
+// run and per strip retry, are what this representation optimizes):
+//
+//   * Time-stamps are packed 64-bit words: (epoch << 32) | (iter + 1).
+//     Because the epoch occupies the high bits and only ever grows, a
+//     single unsigned compare answers both "is this stamp from the current
+//     run?" and "is the writer >= trip?", and the fetch-max CAS the
+//     concurrent writers race through is a plain numeric max.  A stamp
+//     whose epoch is stale reads as kNoStamp.
+//   * clear_stamps() is therefore an O(1) epoch bump (the PD shadow's
+//     generation trick, Section 5.1 / DESIGN.md §5.1): strip retries,
+//     run-twice passes and sliding-window re-speculations stop paying an
+//     O(n) stamp sweep.  One real sweep happens per 2^32 resets, when the
+//     32-bit epoch wraps.
+//   * Writers additionally set one bit per 64-element *block* in a dirty
+//     summary word: each word packs (epoch << 32) | 32 dirty bits, so one
+//     word summarizes 2048 elements and the bitmap clears by the same
+//     epoch bump.  A per-worker Writer view caches the last block it
+//     dirtied (the PD Marker-view trick) so the common in-block write
+//     stream skips even the summary-word load.
+//   * undo_beyond() is ONE fused parallel pass over the summary words: only
+//     words stamped with the current epoch are scanned and only their dirty
+//     blocks' stamps are read, with maximal spans of adjacent dirty blocks
+//     merged across summary-word boundaries so a densely-written region is
+//     re-scanned as one continuous stream.  How a qualifying run is restored is chosen
+//     by payload size at compile time: for payloads over two machine words
+//     the copy dominates the pass, so contiguous runs of overshot stamps
+//     are batched into a single memcpy (element-wise copy for
+//     non-trivially-copyable T); for word-sized payloads the stamp scan
+//     dominates and a two-phase skip/swallow scan loses the overlap of the
+//     stamp, data and backup streams (measured ~0.9x of the per-element
+//     baseline), so the restore is interleaved with a single-branch scan.
+//     undo_beyond_per_element() keeps the unbatched reference pass public
+//     for cross-checking and benchmarking on identical state.
+//   * checkpoint() is a pool-parallel chunked copy (memcpy per chunk for
+//     trivially-copyable T); the backup buffer is pooled across runs, so a
+//     steady-state strip loop allocates nothing.
+//
+// Concurrency contract (same as the PD shadow's): stamped writes may race
+// with each other (stamps and dirty words are atomic; the data stores race
+// only when iterations genuinely collide, which the PD test reports), while
+// checkpoint / undo_beyond / restore_all / clear_stamps run only when no
+// writes are in flight — the fork-join barrier of the speculative drivers
+// provides the happens-before edge that publishes the relaxed stamp and
+// bitmap updates to the undo pass.
 #pragma once
 
 #include <atomic>
+#include <bit>
 #include <cassert>
+#include <chrono>
 #include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
 #include <vector>
 
+#include "wlp/obs/obs.hpp"
 #include "wlp/sched/doall.hpp"
 #include "wlp/sched/reduce.hpp"
 
 namespace wlp {
 
+/// Bookkeeping the tests and the cost model read: how many O(n) costs the
+/// array has actually paid, and what the batched paths actually did.
+struct UndoStats {
+  long resets = 0;          ///< clear_stamps() calls (epoch bumps)
+  long sweeps = 0;          ///< real O(n) sweeps (one per 2^32 resets)
+  long checkpoints = 0;     ///< checkpoint() calls
+  long blocks_dirty = 0;    ///< dirty blocks visited across all undo passes
+  /// Contiguous restore runs batched into single copies.  Stays 0 for small
+  /// payloads, whose undo path restores inline during the scan (see
+  /// VersionedArray::kCoalesceRuns).
+  long runs_coalesced = 0;
+  double checkpoint_ns = 0; ///< total time in checkpoint() (the Tb term)
+  double restore_ns = 0;    ///< total time in undo_beyond/restore_all (Ta)
+};
+
 template <class T>
 class VersionedArray {
  public:
   static constexpr long kNoStamp = -1;
+  /// Elements per dirty block: one cache line of 8-byte stamps.
+  static constexpr std::size_t kBlockSize = 64;
+  /// Dirty bits per summary word (the high 32 bits hold the word's epoch).
+  static constexpr std::size_t kBlocksPerWord = 32;
+  /// Elements one summary word covers.
+  static constexpr std::size_t kWordSpan = kBlockSize * kBlocksPerWord;
+  /// Largest representable writer iteration: the packed stamp keeps
+  /// (iter + 1) in 32 bits.  Loops beyond 4G iterations would need the
+  /// strip/window drivers anyway (stamp memory), which re-base per strip.
+  static constexpr long kMaxIter = 0xfffffffeL;
+  /// Whether the undo pass batches contiguous overshot runs into single
+  /// copies.  For payloads up to two machine words the stamp scan dominates
+  /// and the interleaved per-element restore measures at or ahead of the
+  /// batched copy (the two-phase scan de-overlaps the memory streams), so
+  /// batching only engages where the copy dominates.
+  static constexpr bool kCoalesceRuns = sizeof(T) > 16;
 
   explicit VersionedArray(std::vector<T> init)
-      : data_(std::move(init)), stamp_(data_.size()) {
-    for (auto& s : stamp_) s.store(kNoStamp, std::memory_order_relaxed);
-  }
+      : data_(std::move(init)),
+        stamp_(data_.size()),
+        dirty_((data_.size() + kWordSpan - 1) / kWordSpan) {}
 
   std::size_t size() const noexcept { return data_.size(); }
 
@@ -41,56 +125,175 @@ class VersionedArray {
   /// values are the checkpoint's job).
   const T& get(std::size_t idx) const noexcept { return data_[idx]; }
 
-  /// Stamped speculative write by iteration `iter`.
+  /// Stamped speculative write by iteration `iter` (vpn-less path: pays the
+  /// summary-word access every call; hot loops hold a Writer instead).
   void write(long iter, std::size_t idx, const T& v) noexcept {
     data_[idx] = v;
-    // Keep the maximum writer; fetch-max via CAS.
-    auto& s = stamp_[idx];
-    long cur = s.load(std::memory_order_relaxed);
-    while (iter > cur &&
-           !s.compare_exchange_weak(cur, iter, std::memory_order_acq_rel)) {
-    }
+    stamp_max(idx, iter);
+    mark_dirty(idx / kBlockSize);
   }
+
+  /// Worker-bound write view: caches the last block it dirtied, so a run of
+  /// writes landing in the same 64-element block pays the stamp CAS only —
+  /// no summary-word load, no fetch_or (the PD Marker-view trick).
+  ///
+  /// A Writer is INVALIDATED by clear_stamps()/restore_all(): its cached
+  /// block belongs to the dead epoch, and skipping the mark would leave the
+  /// new epoch's block invisible to undo.  Call rebind() after every reset
+  /// (SpecArray::reset_marks() does).
+  class Writer {
+   public:
+    Writer() = default;
+
+    void write(long iter, std::size_t idx, const T& v) noexcept {
+      arr_->data_[idx] = v;
+      arr_->stamp_max(idx, iter);
+      const std::size_t block = idx / kBlockSize;
+      if (block == last_block_) return;  // summary bit already published
+      last_block_ = block;
+      arr_->mark_dirty(block);
+    }
+
+    /// Drop the cached block; the next write re-publishes its summary bit.
+    void rebind() noexcept { last_block_ = kNoBlock; }
+
+   private:
+    friend class VersionedArray;
+    explicit Writer(VersionedArray* a) noexcept : arr_(a) {}
+    static constexpr std::size_t kNoBlock = static_cast<std::size_t>(-1);
+    VersionedArray* arr_ = nullptr;
+    std::size_t last_block_ = kNoBlock;
+  };
+
+  Writer writer() noexcept { return Writer(this); }
 
   /// Unstamped write (sequential / non-speculative contexts).
   void write_raw(std::size_t idx, const T& v) noexcept { data_[idx] = v; }
 
-  /// Snapshot the current contents; the Tb overhead of Section 7.
-  void checkpoint() { backup_ = data_; }
+  /// Snapshot the current contents — the Tb overhead of Section 7.  With a
+  /// pool, the copy is chunked across the workers (memcpy per chunk for
+  /// trivially-copyable T).  The backup buffer is allocated once and reused
+  /// across checkpoints (steady-state strip loops allocate nothing).
+  void checkpoint(ThreadPool* pool = nullptr) {
+    const auto t0 = std::chrono::steady_clock::now();
+    backup_.resize(data_.size());
+    copy_between(data_, backup_, pool);
+    has_checkpoint_ = true;
+    ++stats_.checkpoints;
+    const double ns = ns_since(t0);
+    stats_.checkpoint_ns += ns;
+    WLP_OBS_COUNT("wlp.undo.checkpoint_ns", static_cast<long>(ns));
+  }
 
-  bool has_checkpoint() const noexcept { return !backup_.empty() || data_.empty(); }
+  bool has_checkpoint() const noexcept { return has_checkpoint_ || data_.empty(); }
 
-  /// Restore every location written by an iteration >= trip.  Parallel when
-  /// a pool is supplied (the Ta term is O(a/p)).  Returns locations restored.
+  /// Restore every location written by an iteration >= trip: one fused
+  /// parallel pass that scans only current-epoch summary words, visits only
+  /// their dirty blocks, and restores each contiguous run of overshot
+  /// stamps with a single block copy.  Returns locations restored.
   long undo_beyond(long trip, ThreadPool* pool = nullptr) {
     assert(has_checkpoint());
-    if (pool) {
-      return parallel_sum<long>(*pool, 0, static_cast<long>(data_.size()),
-                                [&](long i) { return undo_one(static_cast<std::size_t>(i), trip); });
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::uint64_t threshold = stamp_threshold(trip);
+    const long nwords = static_cast<long>(dirty_.size());
+    // Metrics publish once per pass from counter deltas; per-word obs calls
+    // would dominate small cache-resident passes.
+    const long blocks_before = blocks_dirty_.load(std::memory_order_relaxed);
+    const long runs_before = runs_coalesced_.load(std::memory_order_relaxed);
+    // Workers claim chunks of summary words (32K elements each) so span
+    // merging still happens across word boundaries within a chunk while
+    // guided self-scheduling balances skew between chunks.
+    constexpr long kChunkWords = 16;
+    const long nchunks = (nwords + kChunkWords - 1) / kChunkWords;
+    long undone;
+    if (pool != nullptr && nchunks > 1) {
+      undone = parallel_sum<long>(*pool, 0, nchunks, [&](long c) {
+        const std::size_t b = static_cast<std::size_t>(c) * kChunkWords;
+        const std::size_t e =
+            std::min(b + kChunkWords, static_cast<std::size_t>(nwords));
+        return undo_words(b, e, threshold);
+      });
+    } else {
+      undone = undo_words(0, static_cast<std::size_t>(nwords), threshold);
     }
+    const double ns = ns_since(t0);
+    stats_.restore_ns += ns;
+    WLP_OBS_COUNT("wlp.undo.restore_ns", static_cast<long>(ns));
+    WLP_OBS_COUNT("wlp.undo.blocks_dirty",
+                  blocks_dirty_.load(std::memory_order_relaxed) - blocks_before);
+    WLP_OBS_COUNT("wlp.undo.runs_coalesced",
+                  runs_coalesced_.load(std::memory_order_relaxed) - runs_before);
+    return undone;
+  }
+
+  /// Reference undo pass: the seed's per-element scheme over the same
+  /// packed stamps — a full-array scan with one element restore per
+  /// qualifying stamp, ignoring the dirty-block summary.  Public so tests
+  /// can cross-check the fused pass against it and the microbenchmark can
+  /// A/B both passes on identical state (comparing across two different
+  /// array objects confounds the measurement with allocation layout).
+  long undo_beyond_per_element(long trip) noexcept {
+    assert(has_checkpoint());
+    const std::uint64_t threshold = stamp_threshold(trip);
+    const std::size_t n = data_.size();
     long undone = 0;
-    for (std::size_t i = 0; i < data_.size(); ++i) undone += undo_one(i, trip);
+    for (std::size_t i = 0; i < n; ++i)
+      if (stamp_[i].load(std::memory_order_relaxed) >= threshold) {
+        data_[i] = backup_[i];
+        ++undone;
+      }
     return undone;
   }
 
   /// Restore the full checkpoint (failed speculation: re-execute serially).
-  void restore_all() {
+  void restore_all(ThreadPool* pool = nullptr) {
     assert(has_checkpoint());
-    data_ = backup_;
+    const auto t0 = std::chrono::steady_clock::now();
+    copy_between(backup_, data_, pool);
+    const double ns = ns_since(t0);
+    stats_.restore_ns += ns;
+    WLP_OBS_COUNT("wlp.undo.restore_ns", static_cast<long>(ns));
     clear_stamps();
   }
 
+  /// O(1): bump the epoch; stale stamps and summary words read as clear.
+  /// One real sweep per 2^32 resets, when the 32-bit epoch wraps.
   void clear_stamps() noexcept {
-    for (auto& s : stamp_) s.store(kNoStamp, std::memory_order_relaxed);
+    if (++epoch_ == 0) sweep_epochs();
+    ++stats_.resets;
+    WLP_OBS_COUNT("wlp.undo.epoch_resets", 1);
   }
 
-  void discard_checkpoint() {
-    backup_.clear();
-    backup_.shrink_to_fit();
-  }
+  /// Commit: drop the checkpoint.  The buffer is KEPT (pooled) so the next
+  /// strip's checkpoint() allocates nothing; memory_bytes() still counts it.
+  void discard_checkpoint() noexcept { has_checkpoint_ = false; }
 
   long stamp(std::size_t idx) const noexcept {
-    return stamp_[idx].load(std::memory_order_relaxed);
+    const std::uint64_t s = stamp_[idx].load(std::memory_order_relaxed);
+    if ((s >> 32) != epoch_) return kNoStamp;
+    return static_cast<long>(s & 0xffffffffu) - 1;
+  }
+
+  /// Bytes of state this array pins: data + pooled backup + stamps + dirty
+  /// summary — the paper's 3x note, measured.  This is what the Section 8
+  /// sliding-window memory budget controller charges for a dense target.
+  std::size_t memory_bytes() const noexcept {
+    return data_.capacity() * sizeof(T) + backup_.capacity() * sizeof(T) +
+           stamp_.size() * sizeof(stamp_[0]) + dirty_.size() * sizeof(dirty_[0]);
+  }
+
+  UndoStats stats() const noexcept {
+    UndoStats s = stats_;
+    s.blocks_dirty = blocks_dirty_.load(std::memory_order_relaxed);
+    s.runs_coalesced = runs_coalesced_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  /// Test hook: jump the epoch close to the 32-bit wrap so a test can force
+  /// the once-per-2^32 sweep without 4G resets.
+  void set_epoch_for_test(std::uint32_t e) noexcept {
+    sweep_epochs();  // drop every stamp made under the old epoch first
+    epoch_ = e;
   }
 
   /// Escape hatch for sequential re-execution and verification.
@@ -98,17 +301,217 @@ class VersionedArray {
   const std::vector<T>& data() const noexcept { return data_; }
 
  private:
-  long undo_one(std::size_t idx, long trip) noexcept {
-    if (stamp_[idx].load(std::memory_order_relaxed) >= trip) {
-      data_[idx] = backup_[idx];
-      return 1;
+  static double ns_since(std::chrono::steady_clock::time_point t0) noexcept {
+    return std::chrono::duration<double, std::nano>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+  }
+
+  std::uint64_t pack(long iter) const noexcept {
+    assert(iter >= 0 && iter <= kMaxIter);
+    return (static_cast<std::uint64_t>(epoch_) << 32) |
+           static_cast<std::uint64_t>(static_cast<std::uint32_t>(iter + 1));
+  }
+
+  /// Packed value a stamp must reach for "writer iteration >= trip" in the
+  /// CURRENT epoch.  Stale-epoch stamps compare below it for any trip >= -1,
+  /// so one unsigned compare filters both overshoot and staleness.
+  std::uint64_t stamp_threshold(long trip) const noexcept {
+    if (trip < 0) trip = -1;
+    const std::uint64_t low =
+        trip >= kMaxIter ? (1ull << 32)  // nothing can qualify
+                         : static_cast<std::uint64_t>(trip + 1);
+    return (static_cast<std::uint64_t>(epoch_) << 32) + low;
+  }
+
+  /// fetch-max on the packed stamp: the epoch rides the high bits, so the
+  /// numeric max is exactly "current epoch wins over stale; larger iteration
+  /// wins within the epoch".
+  void stamp_max(std::size_t idx, long iter) noexcept {
+    const std::uint64_t want = pack(iter);
+    auto& s = stamp_[idx];
+    std::uint64_t cur = s.load(std::memory_order_relaxed);
+    while (want > cur &&
+           !s.compare_exchange_weak(cur, want, std::memory_order_acq_rel)) {
     }
-    return 0;
+  }
+
+  void mark_dirty(std::size_t block) noexcept {
+    auto& w = dirty_[block / kBlocksPerWord];
+    const std::uint64_t bit = 1ull << (block % kBlocksPerWord);
+    const std::uint64_t tag = static_cast<std::uint64_t>(epoch_) << 32;
+    std::uint64_t cur = w.load(std::memory_order_relaxed);
+    if ((cur >> 32) == epoch_) {
+      // Common case: the word already belongs to this run.  fetch_or never
+      // touches the high half (bit < 2^32), and no writer re-bases a word
+      // away from the current epoch while writes are in flight.
+      if ((cur & bit) == 0) w.fetch_or(bit, std::memory_order_relaxed);
+      return;
+    }
+    // Stale word: re-base it to the current epoch, discarding dead bits.
+    // Racing writers either win the CAS or retry and land in the fetch_or
+    // branch above — no clear-vs-set window exists.
+    for (;;) {
+      const std::uint64_t want =
+          (cur >> 32) == epoch_ ? (cur | bit) : (tag | bit);
+      if (want == cur) return;
+      if (w.compare_exchange_weak(cur, want, std::memory_order_relaxed))
+        return;
+    }
+  }
+
+  /// Scan summary words [wlo, whi): stale words are skipped outright;
+  /// maximal spans of ADJACENT dirty blocks are walked with the spans
+  /// merged ACROSS word boundaries, so a densely-written region collapses
+  /// into one continuous scan no matter how many summary words it crosses
+  /// (each 2048-element restart would otherwise cost the prefetcher its
+  /// stride).  The parallel path calls this per word-chunk, so merging
+  /// happens within each worker's contiguous range.  Returns locations
+  /// restored.
+  long undo_words(std::size_t wlo, std::size_t whi,
+                  std::uint64_t threshold) noexcept {
+    const std::size_t n = data_.size();
+    long undone = 0;
+    long runs = 0;
+    long blocks = 0;
+    std::size_t w = wlo;
+    std::uint32_t bits = 0;
+    std::size_t have_w = static_cast<std::size_t>(-1);  // word `bits` is from
+    while (true) {
+      if (have_w != w) {
+        if (w >= whi) break;
+        const std::uint64_t word = dirty_[w].load(std::memory_order_relaxed);
+        bits = (word >> 32) == epoch_ ? static_cast<std::uint32_t>(word) : 0u;
+        blocks += std::popcount(bits);
+        have_w = w;
+      }
+      if (bits == 0) {
+        ++w;
+        continue;
+      }
+      const int lo = std::countr_zero(bits);
+      const int len = std::countr_one(bits >> lo);  // adjacent dirty blocks
+      bits = len + lo >= 32 ? 0u : bits & ~(((1u << len) - 1u) << lo);
+      const std::size_t span_b =
+          (w * kBlocksPerWord + static_cast<std::size_t>(lo)) * kBlockSize;
+      std::size_t span_blocks = static_cast<std::size_t>(len);
+      // Merge forward: while the span abuts the top of its word and the
+      // next word's dirty bits continue from the bottom, extend the span
+      // and keep that word's leftover bits for the main loop.
+      bool at_top = lo + len == 32;
+      while (at_top && w + 1 < whi) {
+        const std::uint64_t nxt = dirty_[w + 1].load(std::memory_order_relaxed);
+        const std::uint32_t nb =
+            (nxt >> 32) == epoch_ ? static_cast<std::uint32_t>(nxt) : 0u;
+        const int lead = nb == 0xffffffffu ? 32 : std::countr_one(nb);
+        ++w;
+        blocks += std::popcount(nb);
+        bits = lead >= 32 ? 0u : nb & ~((1u << lead) - 1u);
+        have_w = w;
+        if (lead == 0) break;
+        span_blocks += static_cast<std::size_t>(lead);
+        at_top = lead == 32;
+      }
+      const std::size_t span_e =
+          std::min(span_b + span_blocks * kBlockSize, n);
+      if constexpr (kCoalesceRuns) {
+        // Copy-dominated payloads: two-phase scan — skip valid stamps, then
+        // swallow the whole overshot run and restore it with one batched
+        // copy.
+        std::size_t i = span_b;
+        while (i < span_e) {
+          while (i < span_e &&
+                 stamp_[i].load(std::memory_order_relaxed) < threshold)
+            ++i;
+          if (i == span_e) break;
+          const std::size_t run_begin = i;
+          while (i < span_e &&
+                 stamp_[i].load(std::memory_order_relaxed) >= threshold)
+            ++i;
+          restore_run(run_begin, i);
+          undone += static_cast<long>(i - run_begin);
+          ++runs;
+        }
+      } else {
+        // Scan-dominated payloads: single-branch scan with the restore
+        // interleaved, keeping the stamp, data and backup streams
+        // overlapped (the two-phase variant measures ~0.9x of this).
+        const std::atomic<std::uint64_t>* sp = stamp_.data();
+        T* dp = data_.data();
+        const T* bp = backup_.data();
+        for (std::size_t i = span_b; i < span_e; ++i)
+          if (sp[i].load(std::memory_order_relaxed) >= threshold) {
+            dp[i] = bp[i];
+            ++undone;
+          }
+      }
+    }
+    blocks_dirty_.fetch_add(blocks, std::memory_order_relaxed);
+    if (runs != 0) runs_coalesced_.fetch_add(runs, std::memory_order_relaxed);
+    return undone;
+  }
+
+  void restore_run(std::size_t b, std::size_t e) noexcept {
+    if constexpr (std::is_trivially_copyable_v<T>) {
+      std::memcpy(data_.data() + b, backup_.data() + b, (e - b) * sizeof(T));
+    } else {
+      for (std::size_t i = b; i < e; ++i) data_[i] = backup_[i];
+    }
+  }
+
+  /// Chunked parallel copy src -> dst (sizes equal).  memcpy per chunk for
+  /// trivially-copyable T; element assignment otherwise (the fast path MUST
+  /// NOT be taken for types with real copy semantics).
+  void copy_between(const std::vector<T>& src, std::vector<T>& dst,
+                    ThreadPool* pool) {
+    const std::size_t n = src.size();
+    constexpr std::size_t kChunk = 1 << 15;  // elements per claimed chunk
+    if (pool == nullptr || n <= kChunk) {
+      copy_span(src, dst, 0, n);
+      return;
+    }
+    const long nchunks = static_cast<long>((n + kChunk - 1) / kChunk);
+    DoallOptions opts;
+    opts.sched = Sched::kStaticBlock;
+    doall(
+        *pool, 0, nchunks,
+        [&](long c, unsigned) {
+          const std::size_t b = static_cast<std::size_t>(c) * kChunk;
+          copy_span(src, dst, b, std::min(b + kChunk, n));
+        },
+        opts);
+  }
+
+  void copy_span(const std::vector<T>& src, std::vector<T>& dst, std::size_t b,
+                 std::size_t e) noexcept {
+    if constexpr (std::is_trivially_copyable_v<T>) {
+      if (e > b) std::memcpy(dst.data() + b, src.data() + b, (e - b) * sizeof(T));
+    } else {
+      for (std::size_t i = b; i < e; ++i) dst[i] = src[i];
+    }
+  }
+
+  /// The once-per-2^32-resets cost: forget every stamp and summary word by
+  /// storing the reserved epoch 0 (below any live epoch), then restart the
+  /// epoch counter above it.
+  void sweep_epochs() noexcept {
+    for (auto& s : stamp_) s.store(0, std::memory_order_relaxed);
+    for (auto& w : dirty_) w.store(0, std::memory_order_relaxed);
+    epoch_ = 1;
+    ++stats_.sweeps;
   }
 
   std::vector<T> data_;
   std::vector<T> backup_;
-  std::vector<std::atomic<long>> stamp_;
+  /// (epoch << 32) | (iter + 1); 0 (epoch 0) = never stamped.
+  std::vector<std::atomic<std::uint64_t>> stamp_;
+  /// (epoch << 32) | dirty bits for 32 blocks of 64 elements each.
+  std::vector<std::atomic<std::uint64_t>> dirty_;
+  std::uint32_t epoch_ = 1;  ///< 0 is reserved for "never written"
+  bool has_checkpoint_ = false;
+  UndoStats stats_;
+  std::atomic<long> blocks_dirty_{0};    ///< updated by parallel undo workers
+  std::atomic<long> runs_coalesced_{0};  ///< updated by parallel undo workers
 };
 
 }  // namespace wlp

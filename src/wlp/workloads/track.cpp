@@ -70,8 +70,8 @@ ExecReport TrackLoop::run_induction1(ThreadPool& pool, std::vector<double>& pos,
                                      std::vector<double>& vel) const {
   VersionedArray<double> vpos(std::move(pos));
   VersionedArray<double> vvel(std::move(vel));
-  vpos.checkpoint();
-  vvel.checkpoint();
+  vpos.checkpoint(&pool);
+  vvel.checkpoint(&pool);
   ExecReport r = while_induction1(pool, cfg_.candidates, [&](long i, unsigned) {
     double p, v;
     if (extrapolate(i, p, v)) return IterAction::kExit;
@@ -91,8 +91,8 @@ ExecReport TrackLoop::run_induction2(ThreadPool& pool, std::vector<double>& pos,
                                      std::vector<double>& vel) const {
   VersionedArray<double> vpos(std::move(pos));
   VersionedArray<double> vvel(std::move(vel));
-  vpos.checkpoint();
-  vvel.checkpoint();
+  vpos.checkpoint(&pool);
+  vvel.checkpoint(&pool);
   ExecReport r = while_induction2(pool, cfg_.candidates, [&](long i, unsigned) {
     double p, v;
     if (extrapolate(i, p, v)) return IterAction::kExit;

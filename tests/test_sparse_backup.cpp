@@ -54,15 +54,75 @@ TEST(HashBackup, MemoryProportionalToTouchedSet) {
   EXPECT_EQ(backup.memory_bytes(), bytes100 + bytes100 / 100);
 }
 
-TEST(HashBackup, CapacityExhaustionThrows) {
+TEST(HashBackup, CapacityExhaustionSetsOverflowFlag) {
+  // Exhaustion must NOT throw (record() runs inside pool workers, where an
+  // exception would unwind through the join); it latches a per-run flag and
+  // reports the failed record to the caller instead.
   HashBackup<int> backup(16);  // rounds to 16 slots
-  bool threw = false;
-  try {
-    for (std::size_t i = 0; i < 64; ++i) backup.record(0, i, 0);
-  } catch (const std::runtime_error&) {
-    threw = true;
+  bool all_recorded = true;
+  for (std::size_t i = 0; i < 64; ++i)
+    all_recorded = backup.record(0, i, 0) && all_recorded;
+  EXPECT_FALSE(all_recorded);
+  EXPECT_TRUE(backup.overflowed());
+  EXPECT_EQ(backup.entries(), backup.capacity());
+  // clear() resets the flag along with the entries.
+  backup.clear();
+  EXPECT_FALSE(backup.overflowed());
+  EXPECT_EQ(backup.entries(), 0u);
+  EXPECT_TRUE(backup.record(0, 3, 0));
+}
+
+TEST(HashBackup, ClearIsEpochBumpNotSweep) {
+  // 100 record/undo/clear rounds: every slot is reclaimed by the epoch bump
+  // alone — zero O(capacity) sweeps, and every round stays exact.
+  std::vector<double> data{1.0, 2.0, 3.0};
+  HashBackup<double> backup(64);
+  for (int round = 0; round < 100; ++round) {
+    ASSERT_TRUE(backup.record(5, 1, data[1]));
+    data[1] = 99.0;
+    ASSERT_EQ(backup.undo_into(data, 0), 1) << round;
+    ASSERT_EQ(data[1], 2.0) << round;
+    backup.clear();
+    ASSERT_EQ(backup.entries(), 0u);
   }
-  EXPECT_TRUE(threw);
+  EXPECT_EQ(backup.resets(), 100);
+  EXPECT_EQ(backup.sweeps(), 0);
+}
+
+TEST(HashBackup, EpochWrapForcesExactlyOneSweep) {
+  std::vector<int> data{7, 7, 7, 7};
+  HashBackup<int> backup(16);
+  backup.set_epoch_for_test(0xffffffffu);  // one sweep from the hook itself
+  ASSERT_TRUE(backup.record(3, 2, data[2]));
+  data[2] = 50;
+  backup.clear();  // epoch wraps: the once-per-2^32 sweep fires
+  EXPECT_EQ(backup.sweeps(), 2);
+  // Nothing from the pre-wrap run may leak into the new epoch.
+  EXPECT_EQ(backup.entries(), 0u);
+  EXPECT_EQ(backup.restore_all_into(data), 0);
+  EXPECT_EQ(data[2], 50);
+  // And the table is fully functional after the wrap.
+  ASSERT_TRUE(backup.record(1, 2, data[2]));
+  data[2] = 60;
+  EXPECT_EQ(backup.undo_into(data, 0), 1);
+  EXPECT_EQ(data[2], 50);
+}
+
+TEST(HashBackup, ParallelUndoMatchesSerial) {
+  ThreadPool pool(4);
+  const long n = 20000;
+  std::vector<long> data(static_cast<std::size_t>(n));
+  for (long i = 0; i < n; ++i) data[static_cast<std::size_t>(i)] = i;
+  HashBackup<long> backup(65536);
+  doall(pool, 0, n, [&](long i, unsigned) {
+    backup.record(i, static_cast<std::size_t>(i), data[static_cast<std::size_t>(i)]);
+    data[static_cast<std::size_t>(i)] = -1;
+  });
+  // Slot-partitioned parallel undo: distinct keys live in distinct slots,
+  // so workers never write the same element.
+  EXPECT_EQ(backup.undo_into(data, 12000, &pool), n - 12000);
+  for (long i = 0; i < n; ++i)
+    ASSERT_EQ(data[static_cast<std::size_t>(i)], i < 12000 ? -1 : i) << i;
 }
 
 TEST(HashBackup, ConcurrentRecordingIsConsistent) {
