@@ -12,6 +12,7 @@
 #include <stdexcept>
 
 #include "wlp/core/shadow.hpp"
+#include "wlp/mem/budget.hpp"
 #include "wlp/obs/obs.hpp"
 #include "wlp/sched/doacross.hpp"
 #include "wlp/sched/doall.hpp"
@@ -251,6 +252,7 @@ PlanExecution run_parallel_plan(ThreadPool& pool, const Loop& loop,
     throw std::runtime_error("run_parallel_plan: " + *err);
 
   PlanExecution out;
+  const mem::BudgetSnapshot mem0 = mem::Budget::process().snapshot();
   ExecState st;
   st.loop = &loop;
   st.plan = &plan;
@@ -455,6 +457,11 @@ PlanExecution run_parallel_plan(ThreadPool& pool, const Loop& loop,
       env.scalars[name] = st.entry_scalars.at(name);
     }
   }
+
+  const mem::BudgetSnapshot mem1 = mem::Budget::process().snapshot();
+  out.mem_arena_allocs = mem1.arena_allocs - mem0.arena_allocs;
+  out.mem_slow_allocs = mem1.slow_allocs - mem0.slow_allocs;
+  out.mem_bytes_live = mem1.bytes_live;
 
   out.trip = trip;
   return out;

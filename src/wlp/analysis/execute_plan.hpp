@@ -46,6 +46,14 @@ struct PlanExecution {
   double snapshot_ns = 0;  ///< wall time copying entry state (the Tb term of
                            ///< the plan's write-log undo scheme)
   double replay_ns = 0;    ///< wall time in the undo/replay phase (Ta)
+  // What this execution cost the process memory budget (wlp::mem::Budget
+  // deltas between entry and exit): how many arena blocks the run consumed
+  // and how many of those reached the OS.  A steady-state caller re-running
+  // the same plan should see both deltas go to zero — the shadows' and
+  // logs' storage recycles through the arenas.
+  long mem_arena_allocs = 0;  ///< arena blocks handed out during the run
+  long mem_slow_allocs = 0;   ///< ... of which came from the OS (cold path)
+  long mem_bytes_live = 0;    ///< process-wide arena bytes live at exit
 };
 
 PlanExecution run_parallel_plan(ThreadPool& pool, const Loop& loop,

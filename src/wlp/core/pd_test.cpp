@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "wlp/mem/arena.hpp"
 #include "wlp/obs/obs.hpp"
 #include "wlp/sched/reduce.hpp"
 #include "wlp/support/prng.hpp"
@@ -146,11 +147,30 @@ long PDSharedShadow::second_exposed_reader(std::size_t idx) const noexcept {
 
 // ---- PDPrivateShadow --------------------------------------------------------
 
+PDPrivateShadow::Segment::Segment(std::size_t n_cells, unsigned owner)
+    : n(n_cells), vpn(owner) {
+  // Carved from the owning worker's arena ON the owning worker's thread
+  // (this constructor only runs from the first-mark cold path), so first
+  // touch lands the pages on that worker's node.  Arena memory is recycled
+  // rather than OS-zeroed, so `gens` must be cleared here; gen 0 is stale
+  // under every epoch.  `cells` is left raw — see the header.
+  mem::Arena& arena = mem::worker_arena(owner);
+  cells = arena.allocate_array<PrivCell>(n);
+  gens = arena.allocate_array<std::uint32_t>(n);
+  std::fill(gens, gens + n, 0u);
+}
+
+PDPrivateShadow::Segment::~Segment() {
+  mem::Arena& arena = mem::worker_arena(vpn);
+  arena.deallocate_array(cells, n);
+  arena.deallocate_array(gens, n);
+}
+
 PDPrivateShadow::Segment* PDPrivateShadow::allocate_segment(unsigned vpn) {
   // Only the worker owning `vpn` reaches here, so the slot write is
   // unshared; the counter is atomic because several workers can be in
   // their own first-mark cold path at once.
-  segs_[vpn] = std::make_unique<Segment>(n_);
+  segs_[vpn] = std::make_unique<Segment>(n_, vpn);
   segment_allocs_.fetch_add(1, std::memory_order_relaxed);
   return segs_[vpn].get();
 }
@@ -159,16 +179,14 @@ void PDPrivateShadow::sweep_generations() noexcept {
   // The 32-bit stamp wrapped (once per 2^32 resets): clear every gen array
   // so no surviving stamp can alias the restarted epoch counter.
   for (auto& seg : segs_)
-    if (seg) std::fill(seg->gens.begin(), seg->gens.end(), 0u);
-  ++cell_sweeps_;
-  epoch_ = 1;
+    if (seg) std::fill(seg->gens, seg->gens + seg->n, 0u);
 }
 
 PDPrivateShadow::Merged PDPrivateShadow::merged_cell(std::size_t idx) const noexcept {
   Merged m;
   for (const auto& seg : segs_) {
     if (!seg) continue;
-    if (seg->gens[idx] != epoch_) continue;  // stale generation == unmarked
+    if (seg->gens[idx] != epoch_.value()) continue;  // stale gen == unmarked
     const PrivCell& c = seg->cells[idx];
     merge2(m.w0, m.w1, c.w0, c.w1);
     merge2(m.r0, m.r1, c.r0, c.r1);
@@ -188,13 +206,13 @@ PDVerdict PDPrivateShadow::analyze(ThreadPool& pool, long trip) const {
   gens.reserve(segs_.size());
   for (const auto& seg : segs_) {
     if (!seg) continue;
-    bases.push_back(seg->cells.data());
-    gens.push_back(seg->gens.data());
+    bases.push_back(seg->cells);
+    gens.push_back(seg->gens);
   }
 
   WLP_TRACE_SCOPE("pd.merge", n_, bases.size());
   const auto t0 = MergeClock::now();
-  const std::uint32_t epoch = epoch_;
+  const std::uint32_t epoch = epoch_.value();
   PDVerdict v = parallel_reduce(
       pool, 0, static_cast<long>(n_), PDVerdict{},
       [&](long i) {

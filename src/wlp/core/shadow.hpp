@@ -52,6 +52,7 @@
 #include <memory>
 #include <vector>
 
+#include "wlp/mem/epoch.hpp"
 #include "wlp/obs/obs.hpp"
 #include "wlp/sched/thread_pool.hpp"
 
@@ -180,10 +181,13 @@ class PDSharedShadow {
 
 /// The privatized shadow: worker `vpn` marks into its own segment with
 /// plain stores; analyze() merges segments cell-wise under the current
-/// epoch.  Segments are allocated lazily on a worker's first mark and then
-/// reused for the life of the shadow (pooled by vpn), so a speculation that
-/// never runs the PD test — or runs on fewer workers than the pool has —
-/// pays nothing for the idle segments.
+/// epoch.  Segments are allocated lazily on a worker's first mark — from
+/// mem::worker_arena(vpn), so the allocation happens on the marking
+/// worker's thread and first-touch places the segment's pages on that
+/// worker's node; destroying the shadow returns the blocks to the same
+/// arena for O(1) reuse by the next shadow of the same shape.  A
+/// speculation that never runs the PD test — or runs on fewer workers than
+/// the pool has — pays nothing for the idle segments.
 ///
 /// Concurrency contract: marks for one vpn come from one thread at a time
 /// (the pool hands each vpn share to exactly one thread), and analyze() /
@@ -276,9 +280,9 @@ class PDPrivateShadow {
     void bind() noexcept {
       Segment* seg = shadow_->segs_[vpn_].get();
       if (seg == nullptr) seg = shadow_->allocate_segment(vpn_);
-      cells_ = seg->cells.data();
-      gens_ = seg->gens.data();
-      epoch_ = shadow_->epoch_;
+      cells_ = seg->cells;
+      gens_ = seg->gens;
+      epoch_ = shadow_->epoch_.value();
     }
 
     PDPrivateShadow* shadow_ = nullptr;
@@ -302,8 +306,7 @@ class PDPrivateShadow {
   /// (One sweep per 2^32 resets when the 32-bit stamp wraps; see
   /// sweep_generations.)
   void reset() noexcept {
-    if (++epoch_ == 0) sweep_generations();
-    ++resets_;
+    epoch_.bump([this] { sweep_generations(); });
     WLP_OBS_COUNT("wlp.pd.resets", 1);
   }
 
@@ -315,8 +318,8 @@ class PDPrivateShadow {
 
   PDShadowStats stats() const noexcept {
     PDShadowStats s;
-    s.resets = resets_;
-    s.cell_sweeps = cell_sweeps_;  // 0 until the 32-bit stamp wraps
+    s.resets = epoch_.resets();
+    s.cell_sweeps = epoch_.sweeps();  // 0 until the 32-bit stamp wraps
     s.segment_allocs = segment_allocs_.load(std::memory_order_relaxed);
     return s;
   }
@@ -333,11 +336,20 @@ class PDPrivateShadow {
     long r0, r1;  ///< two smallest distinct exposed-read iterations
   };
   struct Segment {
-    // Both zero-filled by the OS; gen 0 is below any epoch (epochs start
-    // at 1), so fresh segments are all-stale without an init pass.
-    explicit Segment(std::size_t n) : cells(n), gens(n) {}
-    std::vector<PrivCell> cells;
-    std::vector<std::uint32_t> gens;  ///< epoch each cell's marks belong to
+    // Storage comes from mem::worker_arena(vpn), carved on the owning
+    // worker's thread (first touch = right node).  Arena blocks are
+    // recycled, NOT OS-zeroed, so the constructor clears `gens` explicitly
+    // — gen 0 is below any epoch (epochs start at 1), making every cell
+    // stale.  `cells` stays uninitialized: a cell is only read under a
+    // current-epoch gen, and the first mark of an epoch fully writes it.
+    Segment(std::size_t n, unsigned vpn);
+    ~Segment();
+    Segment(const Segment&) = delete;
+    Segment& operator=(const Segment&) = delete;
+    PrivCell* cells = nullptr;
+    std::uint32_t* gens = nullptr;  ///< epoch each cell's marks belong to
+    std::size_t n = 0;
+    unsigned vpn = 0;
   };
 
   /// Insert into a two-smallest set held as (lo <= hi, kEmpty-padded).
@@ -391,14 +403,12 @@ class PDPrivateShadow {
   }
 
   std::size_t n_ = 0;
-  std::uint32_t epoch_ = 1;  ///< current generation; 0 is reserved for "never"
-  // One slot per worker; each Segment is its own heap allocation, so two
+  mem::EpochClock epoch_;  ///< current generation; 0 is reserved for "never"
+  // One slot per worker; each Segment is its own arena block, so two
   // workers' hot cells can only share a cache line at segment boundaries,
   // never in the middle of the marking range.
   std::vector<std::unique_ptr<Segment>> segs_;
   std::atomic<long> segment_allocs_{0};  ///< workers allocate concurrently
-  long resets_ = 0;
-  long cell_sweeps_ = 0;  ///< generation-wrap sweeps (one per 2^32 resets)
 };
 
 /// Per-worker access recorder: decides read exposure using a worker-local

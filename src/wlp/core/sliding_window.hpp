@@ -36,7 +36,11 @@ struct WindowOptions {
   /// span by the bytes_per_iteration guess.  The speculative wrapper wires
   /// it to the targets' memory_bytes() (sparse backups report their live
   /// touched set, dense ones their data+backup+stamp footprint), so the
-  /// window reacts to what the backups actually pinned.
+  /// window reacts to what the backups actually pinned.  To throttle on the
+  /// WHOLE process's speculative footprint instead of one target set's,
+  /// point it at the arena ledger: `opts.live_bytes = [] {
+  /// return static_cast<std::size_t>(wlp::mem::process_bytes_live()); }`
+  /// (see mem/budget.hpp; the mem tests pin this wiring).
   std::function<std::size_t()> live_bytes;
   /// Claim granularity inside the window.  kDynamic issues one iteration
   /// per grab (the original Section 8.2 behavior); kGuided claims

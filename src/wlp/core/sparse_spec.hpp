@@ -6,7 +6,11 @@
 // pre-loop value of each touched location.  Backup memory is therefore
 // proportional to the touched set, which is the whole point ("less memory
 // would be needed in this case since only the elements of the array
-// accessed in the loop would be inserted into the hash table").
+// accessed in the loop would be inserted into the hash table").  The
+// backup's slot table is an arena-backed open-addressing array (see
+// sparse_backup.hpp): a strip driver that retires one SparseSpecArray and
+// builds the next recycles the same arena block, so the steady state stays
+// allocation-free and every byte is accounted in the wlp.mem budget.
 //
 // Shadow marking for the PD test is optional and, when enabled, also sized
 // to the array (dense shadows; a hash-table shadow variant is a possible

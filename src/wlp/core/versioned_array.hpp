@@ -72,6 +72,8 @@
 #include <type_traits>
 #include <vector>
 
+#include "wlp/mem/arena.hpp"
+#include "wlp/mem/epoch.hpp"
 #include "wlp/obs/obs.hpp"
 #include "wlp/sched/doall.hpp"
 #include "wlp/sched/reduce.hpp"
@@ -114,10 +116,16 @@ class VersionedArray {
   /// batching only engages where the copy dominates.
   static constexpr bool kCoalesceRuns = sizeof(T) > 16;
 
+  // Versioning state (backup, stamps, dirty summary) draws from the
+  // constructing thread's arena: a retired array's buffers are recycled in
+  // O(1) by the next array of the same shape, and every byte shows up in
+  // the wlp.mem budget instead of vanishing into malloc.
   explicit VersionedArray(std::vector<T> init)
       : data_(std::move(init)),
-        stamp_(data_.size()),
-        dirty_((data_.size() + kWordSpan - 1) / kWordSpan) {}
+        backup_(Alloc(mem::local_arena())),
+        stamp_(data_.size(), StampAlloc(mem::local_arena())),
+        dirty_((data_.size() + kWordSpan - 1) / kWordSpan,
+               StampAlloc(mem::local_arena())) {}
 
   std::size_t size() const noexcept { return data_.size(); }
 
@@ -177,7 +185,7 @@ class VersionedArray {
   void checkpoint(ThreadPool* pool = nullptr) {
     const auto t0 = std::chrono::steady_clock::now();
     backup_.resize(data_.size());
-    copy_between(data_, backup_, pool);
+    copy_between(data_.data(), backup_.data(), data_.size(), pool);
     has_checkpoint_ = true;
     ++stats_.checkpoints;
     const double ns = ns_since(t0);
@@ -198,8 +206,10 @@ class VersionedArray {
     const long nwords = static_cast<long>(dirty_.size());
     // Metrics publish once per pass from counter deltas; per-word obs calls
     // would dominate small cache-resident passes.
-    const long blocks_before = blocks_dirty_.load(std::memory_order_relaxed);
-    const long runs_before = runs_coalesced_.load(std::memory_order_relaxed);
+    [[maybe_unused]] const long blocks_before =
+        blocks_dirty_.load(std::memory_order_relaxed);
+    [[maybe_unused]] const long runs_before =
+        runs_coalesced_.load(std::memory_order_relaxed);
     // Workers claim chunks of summary words (32K elements each) so span
     // merging still happens across word boundaries within a chunk while
     // guided self-scheduling balances skew between chunks.
@@ -249,7 +259,7 @@ class VersionedArray {
   void restore_all(ThreadPool* pool = nullptr) {
     assert(has_checkpoint());
     const auto t0 = std::chrono::steady_clock::now();
-    copy_between(backup_, data_, pool);
+    copy_between(backup_.data(), data_.data(), data_.size(), pool);
     const double ns = ns_since(t0);
     stats_.restore_ns += ns;
     WLP_OBS_COUNT("wlp.undo.restore_ns", static_cast<long>(ns));
@@ -259,8 +269,7 @@ class VersionedArray {
   /// O(1): bump the epoch; stale stamps and summary words read as clear.
   /// One real sweep per 2^32 resets, when the 32-bit epoch wraps.
   void clear_stamps() noexcept {
-    if (++epoch_ == 0) sweep_epochs();
-    ++stats_.resets;
+    epoch_.bump([this] { sweep_epochs(); });
     WLP_OBS_COUNT("wlp.undo.epoch_resets", 1);
   }
 
@@ -270,7 +279,7 @@ class VersionedArray {
 
   long stamp(std::size_t idx) const noexcept {
     const std::uint64_t s = stamp_[idx].load(std::memory_order_relaxed);
-    if ((s >> 32) != epoch_) return kNoStamp;
+    if ((s >> 32) != epoch_.value()) return kNoStamp;
     return static_cast<long>(s & 0xffffffffu) - 1;
   }
 
@@ -284,6 +293,8 @@ class VersionedArray {
 
   UndoStats stats() const noexcept {
     UndoStats s = stats_;
+    s.resets = epoch_.resets();
+    s.sweeps = epoch_.sweeps();
     s.blocks_dirty = blocks_dirty_.load(std::memory_order_relaxed);
     s.runs_coalesced = runs_coalesced_.load(std::memory_order_relaxed);
     return s;
@@ -292,8 +303,8 @@ class VersionedArray {
   /// Test hook: jump the epoch close to the 32-bit wrap so a test can force
   /// the once-per-2^32 sweep without 4G resets.
   void set_epoch_for_test(std::uint32_t e) noexcept {
-    sweep_epochs();  // drop every stamp made under the old epoch first
-    epoch_ = e;
+    // Drop every stamp made under the old epoch first.
+    epoch_.jump(e, [this] { sweep_epochs(); });
   }
 
   /// Escape hatch for sequential re-execution and verification.
@@ -309,7 +320,7 @@ class VersionedArray {
 
   std::uint64_t pack(long iter) const noexcept {
     assert(iter >= 0 && iter <= kMaxIter);
-    return (static_cast<std::uint64_t>(epoch_) << 32) |
+    return (static_cast<std::uint64_t>(epoch_.value()) << 32) |
            static_cast<std::uint64_t>(static_cast<std::uint32_t>(iter + 1));
   }
 
@@ -321,7 +332,7 @@ class VersionedArray {
     const std::uint64_t low =
         trip >= kMaxIter ? (1ull << 32)  // nothing can qualify
                          : static_cast<std::uint64_t>(trip + 1);
-    return (static_cast<std::uint64_t>(epoch_) << 32) + low;
+    return (static_cast<std::uint64_t>(epoch_.value()) << 32) + low;
   }
 
   /// fetch-max on the packed stamp: the epoch rides the high bits, so the
@@ -338,10 +349,11 @@ class VersionedArray {
 
   void mark_dirty(std::size_t block) noexcept {
     auto& w = dirty_[block / kBlocksPerWord];
+    const std::uint32_t epoch = epoch_.value();
     const std::uint64_t bit = 1ull << (block % kBlocksPerWord);
-    const std::uint64_t tag = static_cast<std::uint64_t>(epoch_) << 32;
+    const std::uint64_t tag = static_cast<std::uint64_t>(epoch) << 32;
     std::uint64_t cur = w.load(std::memory_order_relaxed);
-    if ((cur >> 32) == epoch_) {
+    if ((cur >> 32) == epoch) {
       // Common case: the word already belongs to this run.  fetch_or never
       // touches the high half (bit < 2^32), and no writer re-bases a word
       // away from the current epoch while writes are in flight.
@@ -353,7 +365,7 @@ class VersionedArray {
     // branch above — no clear-vs-set window exists.
     for (;;) {
       const std::uint64_t want =
-          (cur >> 32) == epoch_ ? (cur | bit) : (tag | bit);
+          (cur >> 32) == epoch ? (cur | bit) : (tag | bit);
       if (want == cur) return;
       if (w.compare_exchange_weak(cur, want, std::memory_order_relaxed))
         return;
@@ -371,6 +383,7 @@ class VersionedArray {
   long undo_words(std::size_t wlo, std::size_t whi,
                   std::uint64_t threshold) noexcept {
     const std::size_t n = data_.size();
+    const std::uint32_t epoch = epoch_.value();
     long undone = 0;
     long runs = 0;
     long blocks = 0;
@@ -381,7 +394,7 @@ class VersionedArray {
       if (have_w != w) {
         if (w >= whi) break;
         const std::uint64_t word = dirty_[w].load(std::memory_order_relaxed);
-        bits = (word >> 32) == epoch_ ? static_cast<std::uint32_t>(word) : 0u;
+        bits = (word >> 32) == epoch ? static_cast<std::uint32_t>(word) : 0u;
         blocks += std::popcount(bits);
         have_w = w;
       }
@@ -402,7 +415,7 @@ class VersionedArray {
       while (at_top && w + 1 < whi) {
         const std::uint64_t nxt = dirty_[w + 1].load(std::memory_order_relaxed);
         const std::uint32_t nb =
-            (nxt >> 32) == epoch_ ? static_cast<std::uint32_t>(nxt) : 0u;
+            (nxt >> 32) == epoch ? static_cast<std::uint32_t>(nxt) : 0u;
         const int lead = nb == 0xffffffffu ? 32 : std::countr_one(nb);
         ++w;
         blocks += std::popcount(nb);
@@ -459,12 +472,11 @@ class VersionedArray {
     }
   }
 
-  /// Chunked parallel copy src -> dst (sizes equal).  memcpy per chunk for
-  /// trivially-copyable T; element assignment otherwise (the fast path MUST
-  /// NOT be taken for types with real copy semantics).
-  void copy_between(const std::vector<T>& src, std::vector<T>& dst,
-                    ThreadPool* pool) {
-    const std::size_t n = src.size();
+  /// Chunked parallel copy src -> dst (n elements; raw pointers because the
+  /// backup vector and the data vector use different allocators).  memcpy
+  /// per chunk for trivially-copyable T; element assignment otherwise (the
+  /// fast path MUST NOT be taken for types with real copy semantics).
+  void copy_between(const T* src, T* dst, std::size_t n, ThreadPool* pool) {
     constexpr std::size_t kChunk = 1 << 15;  // elements per claimed chunk
     if (pool == nullptr || n <= kChunk) {
       copy_span(src, dst, 0, n);
@@ -482,32 +494,32 @@ class VersionedArray {
         opts);
   }
 
-  void copy_span(const std::vector<T>& src, std::vector<T>& dst, std::size_t b,
-                 std::size_t e) noexcept {
+  void copy_span(const T* src, T* dst, std::size_t b, std::size_t e) noexcept {
     if constexpr (std::is_trivially_copyable_v<T>) {
-      if (e > b) std::memcpy(dst.data() + b, src.data() + b, (e - b) * sizeof(T));
+      if (e > b) std::memcpy(dst + b, src + b, (e - b) * sizeof(T));
     } else {
       for (std::size_t i = b; i < e; ++i) dst[i] = src[i];
     }
   }
 
   /// The once-per-2^32-resets cost: forget every stamp and summary word by
-  /// storing the reserved epoch 0 (below any live epoch), then restart the
-  /// epoch counter above it.
+  /// storing the reserved epoch 0 (below any live epoch); the EpochClock
+  /// restarts its counter above it.
   void sweep_epochs() noexcept {
     for (auto& s : stamp_) s.store(0, std::memory_order_relaxed);
     for (auto& w : dirty_) w.store(0, std::memory_order_relaxed);
-    epoch_ = 1;
-    ++stats_.sweeps;
   }
 
+  using Alloc = mem::ArenaAllocator<T>;
+  using StampAlloc = mem::ArenaAllocator<std::atomic<std::uint64_t>>;
+
   std::vector<T> data_;
-  std::vector<T> backup_;
+  std::vector<T, Alloc> backup_;  ///< arena-pooled (recycled across arrays)
   /// (epoch << 32) | (iter + 1); 0 (epoch 0) = never stamped.
-  std::vector<std::atomic<std::uint64_t>> stamp_;
+  std::vector<std::atomic<std::uint64_t>, StampAlloc> stamp_;
   /// (epoch << 32) | dirty bits for 32 blocks of 64 elements each.
-  std::vector<std::atomic<std::uint64_t>> dirty_;
-  std::uint32_t epoch_ = 1;  ///< 0 is reserved for "never written"
+  std::vector<std::atomic<std::uint64_t>, StampAlloc> dirty_;
+  mem::EpochClock epoch_;  ///< epoch 0 is reserved for "never written"
   bool has_checkpoint_ = false;
   UndoStats stats_;
   std::atomic<long> blocks_dirty_{0};    ///< updated by parallel undo workers

@@ -1,0 +1,166 @@
+#include "wlp/mem/topology.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
+namespace wlp::mem {
+
+namespace {
+
+/// Read a small sysfs file into a string; empty on any failure (missing
+/// file, permission, directory) — the caller falls back.
+std::string slurp(const std::filesystem::path& p) {
+  std::ifstream f(p);
+  if (!f) return {};
+  std::string s;
+  std::getline(f, s);
+  return s;
+}
+
+bool parse_uint(std::string_view s, unsigned& out) {
+  if (s.empty()) return false;
+  unsigned v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+    const unsigned d = static_cast<unsigned>(c - '0');
+    if (v > (~0u - d) / 10) return false;  // overflow
+    v = v * 10 + d;
+  }
+  out = v;
+  return true;
+}
+
+}  // namespace
+
+std::vector<unsigned> parse_cpulist(std::string_view text) {
+  // Trim trailing whitespace/newline the sysfs files carry.
+  while (!text.empty() &&
+         std::isspace(static_cast<unsigned char>(text.back())))
+    text.remove_suffix(1);
+  std::vector<unsigned> cpus;
+  if (text.empty()) return cpus;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t comma = std::min(text.find(',', pos), text.size());
+    const std::string_view item = text.substr(pos, comma - pos);
+    const std::size_t dash = item.find('-');
+    unsigned lo = 0, hi = 0;
+    if (dash == std::string_view::npos) {
+      if (!parse_uint(item, lo)) return {};
+      hi = lo;
+    } else {
+      if (!parse_uint(item.substr(0, dash), lo) ||
+          !parse_uint(item.substr(dash + 1), hi) || hi < lo ||
+          hi - lo > 4096)  // refuse absurd ranges from corrupt input
+        return {};
+    }
+    for (unsigned c = lo; c <= hi; ++c) cpus.push_back(c);
+    if (comma >= text.size()) break;
+    pos = comma + 1;
+  }
+  std::sort(cpus.begin(), cpus.end());
+  cpus.erase(std::unique(cpus.begin(), cpus.end()), cpus.end());
+  return cpus;
+}
+
+Topology Topology::single_node(unsigned ncpus) {
+  Topology t;
+  if (ncpus == 0) ncpus = 1;
+  Node n;
+  n.id = 0;
+  n.cpus.reserve(ncpus);
+  for (unsigned c = 0; c < ncpus; ++c) n.cpus.push_back(c);
+  t.nodes_.push_back(std::move(n));
+  t.cpu_node_.assign(ncpus, 0);
+  t.online_cpus_ = ncpus;
+  t.discovered_ = false;
+  return t;
+}
+
+Topology Topology::discover(const std::string& sysfs_root) {
+  namespace fs = std::filesystem;
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+
+  // Online CPU set first: node cpulists include offline CPUs, which must
+  // not receive workers or pages.
+  const std::vector<unsigned> online =
+      parse_cpulist(slurp(fs::path(sysfs_root) / "devices/system/cpu/online"));
+  if (online.empty()) return single_node(hw);
+
+  std::vector<Node> nodes;
+  std::error_code ec;
+  const fs::path node_dir = fs::path(sysfs_root) / "devices/system/node";
+  for (const auto& entry : fs::directory_iterator(node_dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    unsigned id = 0;
+    if (name.rfind("node", 0) != 0 || !parse_uint(name.substr(4), id)) continue;
+    std::vector<unsigned> cpus = parse_cpulist(slurp(entry.path() / "cpulist"));
+    // Keep only online CPUs (both lists are sorted).
+    std::vector<unsigned> live;
+    std::set_intersection(cpus.begin(), cpus.end(), online.begin(),
+                          online.end(), std::back_inserter(live));
+    if (live.empty()) continue;  // memory-only or fully-offline node
+    Node n;
+    n.id = static_cast<int>(id);
+    n.cpus = std::move(live);
+    nodes.push_back(std::move(n));
+  }
+  if (ec || nodes.empty()) return single_node(online.size());
+
+  std::sort(nodes.begin(), nodes.end(),
+            [](const Node& a, const Node& b) { return a.id < b.id; });
+
+  Topology t;
+  t.nodes_ = std::move(nodes);
+  unsigned max_cpu = 0;
+  for (const auto& n : t.nodes_)
+    for (unsigned c : n.cpus) max_cpu = std::max(max_cpu, c);
+  t.cpu_node_.assign(max_cpu + 1, -1);
+  for (std::size_t i = 0; i < t.nodes_.size(); ++i)
+    for (unsigned c : t.nodes_[i].cpus)
+      t.cpu_node_[c] = static_cast<int>(i);
+  for (int n : t.cpu_node_)
+    if (n >= 0) ++t.online_cpus_;
+  t.discovered_ = true;
+  return t;
+}
+
+const Topology& Topology::process() {
+  // Leaked: consumers (arenas, pools) may outlive any static destruction
+  // order we could promise.
+  static const Topology* t = [] {
+    const char* root = std::getenv("WLP_SYSFS_ROOT");
+    return new Topology(discover(root != nullptr ? root : "/sys"));
+  }();
+  return *t;
+}
+
+int Topology::worker_node(unsigned vpn) const noexcept {
+  if (nodes_.size() <= 1 || online_cpus_ == 0) return 0;
+  // vpn -> the (vpn mod ncpus)-th online CPU, walking nodes in order: an
+  // even spread of workers lands vpn blocks on consecutive nodes exactly
+  // like the OS scheduler's breadth-first placement.
+  unsigned k = vpn % online_cpus_;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const auto sz = static_cast<unsigned>(nodes_[i].cpus.size());
+    if (k < sz) return static_cast<int>(i);
+    k -= sz;
+  }
+  return 0;  // unreachable: k < online_cpus_ = sum of node sizes
+}
+
+NumaMode Topology::numa_mode() const noexcept {
+  if (node_count() <= 1) return NumaMode::kOff;
+  const char* env = std::getenv("WLP_NUMA");
+  if (env == nullptr) return NumaMode::kFirstTouch;
+  const std::string_view v(env);
+  if (v == "0" || v == "off" || v == "OFF") return NumaMode::kOff;
+  if (v == "pin" || v == "PIN") return NumaMode::kPin;
+  return NumaMode::kFirstTouch;
+}
+
+}  // namespace wlp::mem

@@ -1,0 +1,104 @@
+// wlp::mem — CPU/node topology discovery.
+//
+// The speculative machinery is bandwidth-bound: shadow segments, checkpoint
+// backups and chain slots are streamed by exactly one worker each, so on a
+// multi-socket host the difference between "the segment's pages live on the
+// marking worker's node" and "they all live wherever the constructing thread
+// ran" is the difference between local and remote DRAM bandwidth for every
+// mark, stamp and undo scan.  This header answers the one question the
+// placement layer needs: *which node should virtual processor `vpn`'s
+// buffers land on?*
+//
+// Discovery reads sysfs (`/sys/devices/system/node/node*/cpulist` crossed
+// with `/sys/devices/system/cpu/online`); the sysfs root is a parameter so
+// tests inject fake fixtures (1-node, 2-node, offline-CPU layouts) without
+// privileges.  Anything unparsable — non-Linux hosts, containers that hide
+// the node directory, a truncated cpulist — degrades to a single node
+// covering every online CPU: the fallback keeps every consumer's behavior
+// identical to the pre-NUMA runtime (one node ⇒ every placement decision is
+// a no-op), which is the "no behavior change on single-node hosts" contract
+// the tests pin down.
+//
+// The worker→node map is a heuristic, not a guarantee: the pool does not
+// pin threads by default (WLP_NUMA=pin opts in), so `worker_node(vpn)`
+// assumes the OS spreads p workers across the machine the way `taskset`
+// would — vpn v on the node owning online CPU (v mod ncpus).  Both the
+// ThreadPool and the arena set derive their maps from this one function, so
+// the thread that *marks* a segment and the arena that *placed* it agree.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wlp::mem {
+
+/// How the runtime should treat NUMA placement, from the WLP_NUMA
+/// environment variable: "0"/"off" disables page stamping and pinning,
+/// "pin" additionally pins pool helpers to their heuristic node, anything
+/// else (including unset) enables first-touch stamping whenever more than
+/// one node was discovered.
+enum class NumaMode { kOff, kFirstTouch, kPin };
+
+/// Parse a sysfs cpulist ("0-3,8,10-11") into CPU numbers, sorted, deduped.
+/// Malformed input yields an empty vector (callers treat that as "no CPUs",
+/// which in turn triggers the single-node fallback).
+std::vector<unsigned> parse_cpulist(std::string_view text);
+
+class Topology {
+ public:
+  struct Node {
+    int id = 0;                   ///< sysfs node number (nodeN)
+    std::vector<unsigned> cpus;   ///< online CPUs on this node, sorted
+  };
+
+  /// Discover from a sysfs tree.  `sysfs_root` is the directory that holds
+  /// `devices/system/...` — "/sys" on a real host, a fixture dir in tests.
+  static Topology discover(const std::string& sysfs_root = "/sys");
+
+  /// The degraded shape: one node owning CPUs [0, ncpus).
+  static Topology single_node(unsigned ncpus);
+
+  /// Process-wide topology (leaked singleton; discovered once).  Honors
+  /// WLP_SYSFS_ROOT for whole-process fixture injection in tests.
+  static const Topology& process();
+
+  unsigned node_count() const noexcept {
+    return static_cast<unsigned>(nodes_.size());
+  }
+  unsigned cpu_count() const noexcept { return online_cpus_; }
+
+  /// True when the shape came from sysfs rather than the fallback.
+  bool discovered() const noexcept { return discovered_; }
+
+  /// Index into nodes() for `cpu`, or -1 for offline/unknown CPUs.
+  int node_of_cpu(unsigned cpu) const noexcept {
+    return cpu < cpu_node_.size() ? cpu_node_[cpu] : -1;
+  }
+
+  /// Heuristic home node for virtual processor `vpn`: the node owning
+  /// online CPU (vpn mod cpu_count), i.e. the node vpn lands on under an
+  /// even spread of p workers over the machine.  Always a valid node index.
+  int worker_node(unsigned vpn) const noexcept;
+
+  const std::vector<Node>& nodes() const noexcept { return nodes_; }
+
+  /// The placement mode for this process: WLP_NUMA crossed with the node
+  /// count (a single-node shape forces kOff — every decision is a no-op).
+  NumaMode numa_mode() const noexcept;
+
+ private:
+  std::vector<Node> nodes_;
+  std::vector<int> cpu_node_;  ///< cpu -> index into nodes_, -1 = offline
+  unsigned online_cpus_ = 0;
+  bool discovered_ = false;
+};
+
+/// Shorthand: first-touch page stamping is worth paying for (multi-node
+/// shape and WLP_NUMA not "off").
+inline bool numa_placement_enabled() {
+  return Topology::process().numa_mode() != NumaMode::kOff;
+}
+
+}  // namespace wlp::mem

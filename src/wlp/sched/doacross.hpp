@@ -46,18 +46,24 @@
 //     the kernel.
 //   * **Pooled chain state.**  The chain state is O(1) words plus one
 //     padded wait-stat slot per virtual processor (the pipeline depth) —
-//     pooled per calling thread and epoch-stamped like the PD shadow, so a
-//     loop that exits after a handful of iterations pays no O(max_iters)
-//     allocation or zero-fill, and repeated calls allocate nothing at all.
+//     pooled per calling thread and epoch-stamped (mem::EpochClock, the
+//     same clock the PD shadow uses), so a loop that exits after a handful
+//     of iterations pays no O(max_iters) allocation or zero-fill, and
+//     repeated calls allocate nothing at all.  The slot array itself is an
+//     arena block (mem::local_arena), so even pool-width growth recycles
+//     in O(1) and shows up in the wlp.mem counters, not in malloc.
 #pragma once
 
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <new>
 #include <utility>
 #include <vector>
 
+#include "wlp/mem/arena.hpp"
+#include "wlp/mem/epoch.hpp"
 #include "wlp/obs/obs.hpp"
 #include "wlp/sched/thread_pool.hpp"
 #include "wlp/support/backoff.hpp"
@@ -114,22 +120,29 @@ inline constexpr long kMaxSeqBatch = 8;
 class DoacrossChain {
  public:
   struct Slot {
-    std::uint64_t epoch = 0;
+    std::uint32_t epoch = 0;
     std::uint64_t rounds = 0;
     std::uint64_t parks = 0;
     std::uint64_t publishes = 0;
   };
 
+  DoacrossChain() = default;
+  ~DoacrossChain() {
+    if (slots_ != nullptr) arena_->deallocate_array(slots_, cap_);
+  }
+  DoacrossChain(const DoacrossChain&) = delete;
+  DoacrossChain& operator=(const DoacrossChain&) = delete;
+
   /// Arm the chain for a window of `win` iterations on `p` virtual
   /// processors.  O(1) plus a one-time slot-array growth.
   void begin_window(unsigned p, long win, DoacrossChainStats& stats) {
-    ++epoch_;
+    epoch_.bump([this] { sweep_slots(); });
     frontier_.store(0, std::memory_order_relaxed);
     waiters_.store(0, std::memory_order_relaxed);
     next_.store(0, std::memory_order_relaxed);
     trip_.store(win, std::memory_order_relaxed);
-    if (slots_.size() < p) {
-      slots_.resize(p);
+    if (cap_ < p) {
+      grow_slots(p);
       ++stats.slot_grows;
     }
     nproc_ = p;
@@ -137,7 +150,7 @@ class DoacrossChain {
 
   Slot& slot(unsigned vpn) noexcept {
     Slot& s = slots_[vpn].value;
-    if (s.epoch != epoch_) s = Slot{epoch_, 0, 0, 0};
+    if (s.epoch != epoch_.value()) s = Slot{epoch_.value(), 0, 0, 0};
     return s;
   }
 
@@ -177,7 +190,7 @@ class DoacrossChain {
   void accumulate(DoacrossResult& r) const noexcept {
     for (unsigned vpn = 0; vpn < nproc_; ++vpn) {
       const Slot& s = slots_[vpn].value;
-      if (s.epoch != epoch_) continue;
+      if (s.epoch != epoch_.value()) continue;
       r.wait_rounds += s.rounds;
       r.parks += s.parks;
       r.publishes += s.publishes;
@@ -185,12 +198,32 @@ class DoacrossChain {
   }
 
  private:
+  /// Replace the slot array with one of `p` slots from the calling
+  /// thread's arena.  Runs right after the window's epoch bump, so every
+  /// old slot is already stale — nothing to copy, the retired block just
+  /// goes back to the free list for the next chain of this width.
+  void grow_slots(unsigned p) {
+    if (arena_ == nullptr) arena_ = &mem::local_arena();
+    if (slots_ != nullptr) arena_->deallocate_array(slots_, cap_);
+    slots_ = arena_->allocate_array<Padded<Slot>>(p);
+    for (unsigned i = 0; i < p; ++i) new (&slots_[i]) Padded<Slot>();
+    cap_ = p;
+  }
+
+  /// 32-bit epoch wrap (once per 2^32 windows): unstamp every slot so no
+  /// survivor can alias the restarted counter.
+  void sweep_slots() noexcept {
+    for (unsigned i = 0; i < cap_; ++i) slots_[i].value.epoch = 0;
+  }
+
   alignas(kCacheLine) std::atomic<std::uint32_t> frontier_{0};
   alignas(kCacheLine) std::atomic<std::uint32_t> waiters_{0};
   alignas(kCacheLine) std::atomic<long> next_{0};
   std::atomic<long> trip_{0};
-  std::vector<Padded<Slot>> slots_;
-  std::uint64_t epoch_ = 0;
+  Padded<Slot>* slots_ = nullptr;  ///< arena block, cap_ wait-stat slots
+  mem::Arena* arena_ = nullptr;    ///< pinned so free pairs with alloc
+  unsigned cap_ = 0;
+  mem::EpochClock epoch_;
   unsigned nproc_ = 0;
 };
 
