@@ -11,6 +11,7 @@
 #include <mutex>
 #include <stdexcept>
 
+#include "wlp/core/cost_model.hpp"
 #include "wlp/core/shadow.hpp"
 #include "wlp/mem/budget.hpp"
 #include "wlp/obs/obs.hpp"
@@ -46,6 +47,9 @@ struct LoggedWrite {
   const std::string* array;  // interned: points into the loop's name set
   long idx;
   double value;
+  double old;   ///< value the store displaced (write-log undo for
+                ///< arrays that skipped the entry snapshot)
+  long ticket;  ///< global store order, claimed under the striped lock
 };
 
 /// Striped spin locks guarding concurrent stores into the working arrays
@@ -86,6 +90,10 @@ struct ExecState {
 
   std::vector<Padded<std::vector<LoggedWrite>>> logs;  // per worker
   StripedLocks store_locks;
+  /// Store tickets: per location, lock order == ticket order, so replaying
+  /// the logged `old` values in descending ticket order reconstructs the
+  /// exact pre-loop state without a snapshot.
+  std::atomic<long> ticket{0};
 
   // PD machinery for the plan's unknown-access arrays (privatized policy:
   // each worker marks its own segment, merged at analyze time).
@@ -216,10 +224,12 @@ bool execute_stmt(ExecState& st, int step, int s, long i, unsigned vpn,
       if (ait != st.accessors[vpn].end())
         ait->second.on_write(static_cast<std::size_t>(idx));
       st.store_locks.lock(static_cast<std::size_t>(idx));
+      const double old = arr[static_cast<std::size_t>(idx)];
       arr[static_cast<std::size_t>(idx)] = v;
+      const long tick = st.ticket.fetch_add(1, std::memory_order_relaxed);
       st.store_locks.unlock(static_cast<std::size_t>(idx));
       // Interned array name: the Stmt's lhs lives as long as the loop.
-      st.logs[vpn].value.push_back({i, s, &stmt.lhs, idx, v});
+      st.logs[vpn].value.push_back({i, s, &stmt.lhs, idx, v, old, tick});
       return false;
     }
   }
@@ -258,11 +268,37 @@ PlanExecution run_parallel_plan(ThreadPool& pool, const Loop& loop,
   st.plan = &plan;
   st.env = &env;
   st.pool = &pool;
-  // The entry-state copy is this scheme's checkpoint (Tb): measure it like
-  // the dense backup measures checkpoint().
+  // The entry-state copy is this scheme's checkpoint (Tb) — decided PER
+  // ARRAY through the same cost model the runtime targets use: an array the
+  // plan stores into densely gets a snapshot (restore = one copy); one
+  // written sparsely relies on the write log instead (every store records
+  // the value it displaced plus a ticket, and replaying the `old` values in
+  // descending ticket order is an exact inverse); one never written needs
+  // neither.  The density estimate here is static — stores-per-iteration
+  // times max_iters, an upper bound on distinct touched locations, so the
+  // decision errs toward the dense snapshot.
   const auto snap0 = std::chrono::steady_clock::now();
   st.entry_scalars = env.scalars;
-  st.entry_arrays = env.arrays;
+  std::map<std::string, long> array_write_stmts;
+  for (const Stmt& bstmt : loop.body)
+    if (bstmt.kind == StmtKind::kAssignArray) ++array_write_stmts[bstmt.lhs];
+  for (const auto& [aname, arr] : env.arrays) {
+    const auto wit = array_write_stmts.find(aname);
+    if (wit == array_write_stmts.end()) {
+      // Never written by this loop: no snapshot, no log, nothing to restore.
+      out.snapshot_bytes_saved += static_cast<long>(arr.size() * sizeof(double));
+      continue;
+    }
+    const std::size_t expected = static_cast<std::size_t>(wit->second) *
+                                 static_cast<std::size_t>(loop.max_iters);
+    if (choose_backup(arr.size(), expected).kind == BackupKind::kDense) {
+      st.entry_arrays.emplace(aname, arr);
+      ++out.arrays_dense_snapshot;
+    } else {
+      ++out.arrays_log_undo;
+      out.snapshot_bytes_saved += static_cast<long>(arr.size() * sizeof(double));
+    }
+  }
   out.snapshot_ns = std::chrono::duration<double, std::nano>(
                         std::chrono::steady_clock::now() - snap0)
                         .count();
@@ -415,27 +451,47 @@ PlanExecution run_parallel_plan(ThreadPool& pool, const Loop& loop,
     const PDVerdict v = shadow->analyze(pool, trip);
     if (!v.fully_parallel()) out.speculation_failed = true;
   }
+  std::vector<LoggedWrite> writes;
+  for (auto& l : st.logs) {
+    writes.insert(writes.end(), l.value.begin(), l.value.end());
+    out.logged_writes += static_cast<long>(l.value.size());
+  }
+
+  // Return every array to its exact pre-loop state: snapshot copy-back for
+  // the dense-decided arrays, FULL reverse-ticket write-log undo for the
+  // rest.  Full (not selective) undo is load-bearing: undoing only invalid
+  // writes would clobber a kept valid value whenever an invalid-early /
+  // valid-late pair hit the same location, so the only order-safe scheme is
+  // undo everything, then re-apply the valid writes in program order.
+  const auto undo_to_entry = [&] {
+    for (const auto& [aname, snap] : st.entry_arrays)
+      env.arrays.at(aname) = snap;
+    std::sort(writes.begin(), writes.end(),
+              [](const LoggedWrite& a, const LoggedWrite& b) {
+                return a.ticket > b.ticket;
+              });
+    for (const LoggedWrite& w : writes) {
+      if (st.entry_arrays.count(*w.array) != 0) continue;  // snapshot-restored
+      env.arrays.at(*w.array)[static_cast<std::size_t>(w.idx)] = w.old;
+    }
+  };
+
   if (out.speculation_failed) {
     // Restore everything and run the loop the old-fashioned way.
     env.scalars = st.entry_scalars;
-    env.arrays = st.entry_arrays;
+    undo_to_entry();
     out.trip = run_sequential(loop, env);
     return out;
   }
 
   // ---- undo/replay: apply only the writes valid under the final exits --------
   const auto replay0 = std::chrono::steady_clock::now();
-  std::vector<LoggedWrite> writes;
-  for (auto& l : st.logs) {
-    writes.insert(writes.end(), l.value.begin(), l.value.end());
-    out.logged_writes += static_cast<long>(l.value.size());
-  }
+  undo_to_entry();
   std::stable_sort(writes.begin(), writes.end(),
                    [](const LoggedWrite& a, const LoggedWrite& b) {
                      if (a.iter != b.iter) return a.iter < b.iter;
                      return a.stmt < b.stmt;
                    });
-  env.arrays = st.entry_arrays;
   for (const LoggedWrite& w : writes) {
     if (w.iter >= stmt_limit(w.stmt, loop.max_iters, st.fired)) {
       ++out.discarded_writes;

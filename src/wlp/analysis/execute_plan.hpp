@@ -46,6 +46,13 @@ struct PlanExecution {
   double snapshot_ns = 0;  ///< wall time copying entry state (the Tb term of
                            ///< the plan's write-log undo scheme)
   double replay_ns = 0;    ///< wall time in the undo/replay phase (Ta)
+  // Per-array backup decisions (cost_model::choose_backup on the static
+  // stores-per-iteration x max_iters density estimate): how many arrays got
+  // a dense entry snapshot, how many rely on the ticketed write log, and how
+  // many snapshot bytes the log-undo/unwritten arrays avoided copying.
+  long arrays_dense_snapshot = 0;
+  long arrays_log_undo = 0;
+  long snapshot_bytes_saved = 0;
   // What this execution cost the process memory budget (wlp::mem::Budget
   // deltas between entry and exit): how many arena blocks the run consumed
   // and how many of those reached the OS.  A steady-state caller re-running

@@ -135,4 +135,26 @@ double expected_speculative_speedup(const Prediction& pred, double p_parallel);
 DoallOptions choose_schedule(long upper_bound, double expected_trip,
                              double iter_cost_cv, unsigned p);
 
+/// Which backup representation a speculated array uses for a retry.
+enum class BackupKind { kDense, kHash };
+
+/// The adaptive dense-vs-sparse decision, with the inputs it was made from
+/// (tests and the bench assert on these; obs gauges publish them).
+struct BackupDecision {
+  BackupKind kind = BackupKind::kDense;
+  double density = 0.0;  ///< touched / n that drove the decision
+  double theta = 0.0;    ///< crossover density actually used
+};
+
+/// Pick dense VersionedArray vs sparse HashBackup for ONE array's next
+/// retry from its measured touch density (`touched` locations written last
+/// retry, array size `n`), optionally corrected by the measured Tb/Ta the
+/// cost model already collects (negative = unmeasured, use the static
+/// operation-cost model).  Replaces the static per-loop backup flag: the
+/// same loop can run one array dense and a sibling sparse, and flip either
+/// as the observed density drifts (DESIGN.md §9).
+BackupDecision choose_backup(std::size_t n, std::size_t touched,
+                             double measured_tb = -1.0,
+                             double measured_ta = -1.0) noexcept;
+
 }  // namespace wlp

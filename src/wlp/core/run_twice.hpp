@@ -64,6 +64,10 @@ RunTwiceReport run_twice_while(ThreadPool& pool, long u, Probe&& probe,
 /// needed even here — with the trip known there is no overshoot, only the
 /// independence question remains.  `work` must route accesses through the
 /// targets; `run_sequential() -> void` is the fallback over [0, trip).
+///
+/// Pass 2 delegates to speculative_while, so multi-array target sets get
+/// the fused SpecTransaction checkpoint/restore (one parallel pass over
+/// all targets, one wlp.undo.* publication) with no wiring here.
 template <class Probe, class Work, class SeqRun>
 RunTwiceReport run_twice_speculative(ThreadPool& pool, long u, Probe&& probe,
                                      std::span<SpecTarget* const> targets,

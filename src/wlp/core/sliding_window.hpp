@@ -193,24 +193,19 @@ WindowReport sliding_window_speculative_while(
     Body&& body, SeqRun&& run_sequential, WindowOptions wopts = {},
     bool undo_in_parallel = true) {
   WLP_TRACE_SCOPE("window.spec", u, wopts.window);
+  SpecTransaction txn(targets);
   double checkpoint_ns = 0;
   {
     const auto cp0 = std::chrono::steady_clock::now();
-    for (SpecTarget* t : targets) {
-      t->reset_marks();
-      t->checkpoint(&pool);
-    }
+    txn.begin(&pool);
     checkpoint_ns = detail::spec_ns_since(cp0);
   }
   // Feed the budget controller the backups' MEASURED footprint (Section 8.2
   // against real bytes): sparse targets grow as locations are touched, so
   // the window shrinks when the backup — not a guess — nears the budget.
+  // The transaction sums its members (shared stamp indexes counted once).
   if (wopts.memory_budget != 0 && !wopts.live_bytes) {
-    wopts.live_bytes = [targets] {
-      std::size_t b = 0;
-      for (SpecTarget* t : targets) b += t->memory_bytes();
-      return b;
-    };
+    wopts.live_bytes = [&txn] { return txn.memory_bytes(); };
   }
 
   bool failed = false;
@@ -226,15 +221,14 @@ WindowReport sliding_window_speculative_while(
   wr.exec.used_stamps = true;
   wr.exec.checkpoint_ns = checkpoint_ns;
 
-  for (SpecTarget* t : targets) wr.exec.shadow_marks += t->marks();
+  wr.exec.shadow_marks = txn.marks();
   WLP_OBS_COUNT("wlp.pd.marks", wr.exec.shadow_marks);
 
-  for (SpecTarget* t : targets)
-    if (t->overflowed()) {
-      wr.exec.backup_overflow = true;
-      failed = true;
-      WLP_OBS_COUNT("wlp.spec.backup_overflow", 1);
-    }
+  if (txn.overflowed()) {
+    wr.exec.backup_overflow = true;
+    failed = true;
+    WLP_OBS_COUNT("wlp.spec.backup_overflow", 1);
+  }
 
   if (!failed) {
     WLP_TRACE_SCOPE("pd.analyze", wr.exec.trip, 0);
@@ -254,7 +248,7 @@ WindowReport sliding_window_speculative_while(
   if (failed) {
     WLP_OBS_COUNT("wlp.spec.seq_reexec", 1);
     const auto ra0 = std::chrono::steady_clock::now();
-    for (SpecTarget* t : targets) t->restore_all(&pool);
+    txn.restore_all(&pool);
     wr.exec.undo_ns = detail::spec_ns_since(ra0);
     wr.exec.reexecuted_sequentially = true;
     wr.exec.trip = run_sequential();
@@ -263,9 +257,8 @@ WindowReport sliding_window_speculative_while(
 
   {
     const auto ud0 = std::chrono::steady_clock::now();
-    for (SpecTarget* t : targets)
-      wr.exec.undone_writes +=
-          t->undo_beyond(wr.exec.trip, undo_in_parallel ? &pool : nullptr);
+    wr.exec.undone_writes +=
+        txn.undo_beyond(wr.exec.trip, undo_in_parallel ? &pool : nullptr);
     wr.exec.undo_ns = detail::spec_ns_since(ud0);
   }
   WLP_OBS_HIST("wlp.spec.undo_writes", wr.exec.undone_writes);

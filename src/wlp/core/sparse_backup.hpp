@@ -113,6 +113,22 @@ class HashBackup {
     return undo_into(data, -1, pool);
   }
 
+  /// Fused-transaction unit of work: undo the slot range [lo, hi) against
+  /// the threshold for `trip` (trip < 0 restores everything recorded).  A
+  /// SpecTransaction packs these chunks into its single parallel undo pass
+  /// alongside the dense members' dirty-span chunks, so a mixed dense+hash
+  /// transaction still runs one pool dispatch and one join.
+  long undo_slots(std::vector<T>& data, long trip, std::size_t lo,
+                  std::size_t hi) noexcept {
+    // Empty-table early-out: an AdaptiveSpecArray running a DENSE retry
+    // still exposes its (unused) slot chunks to the transaction's static
+    // unit map; without this check every fused undo would stream the whole
+    // empty table just to find no live tags.
+    if (entries() == 0) return 0;
+    return undo_range(data, stamp_threshold(trip), static_cast<long>(lo),
+                      static_cast<long>(std::min(hi, slots_.size())));
+  }
+
   std::size_t entries() const noexcept {
     return occupied_.load(std::memory_order_relaxed);
   }

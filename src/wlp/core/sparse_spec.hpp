@@ -96,6 +96,20 @@ class SparseSpecArray final : public SpecTarget {
   }
   void discard() override { backup_.clear(); }
 
+  // ---- fused-transaction hooks --------------------------------------------
+  // No dense index and nothing to checkpoint up front; the fused undo pass
+  // scans this target's slot table in chunks alongside the dense members'
+  // dirty spans (one pool dispatch for the whole transaction).
+
+  std::size_t txn_sparse_slots() const override { return backup_.capacity(); }
+  long txn_undo_slots(long trip, std::size_t lo, std::size_t hi) override {
+    return backup_.undo_slots(data_, trip, lo, hi);
+  }
+  /// After a fused full restore the recorded set is spent: drop it so the
+  /// transaction reads as empty, matching the dense members (whose stamps
+  /// restore_all clears).  The epoch bump keeps this O(1).
+  void txn_restore_all_done() override { backup_.clear(); }
+
  private:
   std::vector<T>& data_;
   HashBackup<T> backup_;

@@ -1,0 +1,111 @@
+// The type-erased interface over one array participating in a speculation —
+// split out of speculative.hpp so the SpecTransaction layer (txn.hpp) can
+// fuse checkpoint/undo work across targets without an include cycle with
+// the speculative drivers.
+//
+// Two tiers of API:
+//   * The original per-target virtuals (checkpoint / undo_beyond /
+//     restore_all / ...) — every target implements these; drivers that run
+//     one target, and the transaction's fallback for opaque targets, use
+//     them directly.
+//   * The txn_* hooks — span-granular pieces of the same operations, so a
+//     SpecTransaction can run ONE pool-parallel pass over the concatenated
+//     block ranges of all its members instead of k sequential parallel
+//     passes (ISSUE 8: rollback must be bandwidth-bound in one stream, not
+//     latency-bound in k).  All hooks have conservative defaults: a target
+//     that doesn't implement them reports no index / no spans / no slots,
+//     and the transaction falls back to its per-target virtuals.  Adding
+//     hooks with defaults is non-breaking — no external subclasses exist.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+
+#include "wlp/core/shadow.hpp"
+#include "wlp/core/versioned_array.hpp"
+#include "wlp/sched/doall.hpp"
+
+namespace wlp {
+
+/// Type-erased interface over one array participating in a speculation.
+class SpecTarget {
+ public:
+  virtual ~SpecTarget() = default;
+  /// Snapshot before the speculative run (the Tb term).  The pool, when
+  /// given, parallelizes the copy; nullptr keeps it serial.
+  virtual void checkpoint(ThreadPool* pool) = 0;
+  virtual long undo_beyond(long trip, ThreadPool* pool) = 0;
+  virtual void restore_all(ThreadPool* pool) = 0;
+  virtual bool shadowed() const = 0;
+  virtual PDVerdict analyze(ThreadPool& pool, long trip) const = 0;
+  virtual void reset_marks() = 0;
+  /// Shadow marks recorded since the last reset_marks() (0 if not shadowed).
+  virtual long marks() const { return 0; }
+  /// Did the backup lose a write since the last reset_marks()?  A sparse
+  /// backup that hits capacity latches this instead of throwing from a pool
+  /// worker; the drivers treat it exactly like a failed PD test (restore and
+  /// re-execute sequentially — the dense path never overflows).
+  virtual bool overflowed() const { return false; }
+  /// Bytes of state this target pins right now (data + backup + stamps): the
+  /// quantity the Section 8.2 window budget controller charges, replacing
+  /// the window's bytes-per-iteration guess.
+  virtual std::size_t memory_bytes() const { return 0; }
+  /// Commit: the speculation succeeded with no overshoot in this region,
+  /// the backup state can be dropped (strip-by-strip drivers use this).
+  virtual void discard() = 0;
+
+  // ---- fused-transaction hooks (SpecTransaction, txn.hpp) ------------------
+
+  /// The trip-indexed stamp/dirty index this target's speculative writes go
+  /// through, or nullptr for a target the transaction must treat as opaque
+  /// (fall back to the per-target virtuals above).  Targets returning the
+  /// SAME index are trip-aligned siblings: the transaction walks their
+  /// shared dirty summary once and dispatches each merged span to every
+  /// member back-to-back.
+  virtual StampIndex* txn_index() noexcept { return nullptr; }
+  /// Prepare for a fused checkpoint (resize the pooled backup, count the
+  /// checkpoint); returns the element count the transaction's single
+  /// parallel pass must copy for this member.  0 = nothing to copy up
+  /// front (sparse backups save on first touch).
+  virtual std::size_t txn_checkpoint_begin() { return 0; }
+  /// Copy live elements [b, e) into the backup (one chunk of the fused
+  /// checkpoint pass).
+  virtual void txn_checkpoint_span(std::size_t /*b*/, std::size_t /*e*/) {}
+  /// Restore overshot stamps in [b, e) against this member's backup; the
+  /// packed `threshold` came from this member's txn_index().  Returns
+  /// locations restored.
+  virtual long txn_restore_span(std::size_t /*b*/, std::size_t /*e*/,
+                                std::uint64_t /*threshold*/) {
+    return 0;
+  }
+  /// Full-restore copy of [b, e) from the backup — failed speculation.
+  /// Unlike txn_restore_span this must not consult stamps: targets whose
+  /// bodies write below a stamp threshold (strategies.hpp) leave UNSTAMPED
+  /// speculative writes that only a full copy rolls back.
+  virtual void txn_restore_all_span(std::size_t /*b*/, std::size_t /*e*/) {}
+  /// Called once per member after the fused full restore completes (clear
+  /// stamps so the next undo pass sees a clean epoch).
+  virtual void txn_restore_all_done() {}
+  /// Sparse members: number of backup slots the fused undo pass must scan
+  /// (0 = not sparse).  The transaction partitions [0, slots) into chunks
+  /// and calls txn_undo_slots for each.
+  virtual std::size_t txn_sparse_slots() const { return 0; }
+  /// Undo every slot in [lo, hi) whose writer iteration is >= trip
+  /// (trip < 0 = restore all saved values: the sparse side of a fused full
+  /// restore).  Returns locations restored.
+  virtual long txn_undo_slots(long /*trip*/, std::size_t /*lo*/,
+                              std::size_t /*hi*/) {
+    return 0;
+  }
+};
+
+namespace detail {
+inline double spec_ns_since(std::chrono::steady_clock::time_point t0) noexcept {
+  return std::chrono::duration<double, std::nano>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+}  // namespace detail
+
+}  // namespace wlp

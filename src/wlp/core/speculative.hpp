@@ -10,6 +10,11 @@
 //   * on success, overshot writes are undone via the time-stamps,
 //   * on failure (or an exception during the run, Section 5.1), all state is
 //     restored from the checkpoint and the loop re-executes sequentially.
+//
+// All targets of one loop run under ONE SpecTransaction (txn.hpp): one
+// fused checkpoint pass, one fused undo pass, one set of wlp.undo.* obs
+// publications — regardless of how many arrays the loop speculates over.
+// The SpecTarget interface itself lives in spec_target.hpp.
 #pragma once
 
 #include <chrono>
@@ -20,47 +25,13 @@
 #include "wlp/obs/obs.hpp"
 #include "wlp/core/report.hpp"
 #include "wlp/core/shadow.hpp"
+#include "wlp/core/spec_target.hpp"
+#include "wlp/core/txn.hpp"
 #include "wlp/core/versioned_array.hpp"
 #include "wlp/sched/doall.hpp"
 #include "wlp/support/cacheline.hpp"
 
 namespace wlp {
-
-/// Type-erased interface over one array participating in a speculation.
-class SpecTarget {
- public:
-  virtual ~SpecTarget() = default;
-  /// Snapshot before the speculative run (the Tb term).  The pool, when
-  /// given, parallelizes the copy; nullptr keeps it serial.
-  virtual void checkpoint(ThreadPool* pool) = 0;
-  virtual long undo_beyond(long trip, ThreadPool* pool) = 0;
-  virtual void restore_all(ThreadPool* pool) = 0;
-  virtual bool shadowed() const = 0;
-  virtual PDVerdict analyze(ThreadPool& pool, long trip) const = 0;
-  virtual void reset_marks() = 0;
-  /// Shadow marks recorded since the last reset_marks() (0 if not shadowed).
-  virtual long marks() const { return 0; }
-  /// Did the backup lose a write since the last reset_marks()?  A sparse
-  /// backup that hits capacity latches this instead of throwing from a pool
-  /// worker; the drivers treat it exactly like a failed PD test (restore and
-  /// re-execute sequentially — the dense path never overflows).
-  virtual bool overflowed() const { return false; }
-  /// Bytes of state this target pins right now (data + backup + stamps): the
-  /// quantity the Section 8.2 window budget controller charges, replacing
-  /// the window's bytes-per-iteration guess.
-  virtual std::size_t memory_bytes() const { return 0; }
-  /// Commit: the speculation succeeded with no overshoot in this region,
-  /// the backup state can be dropped (strip-by-strip drivers use this).
-  virtual void discard() = 0;
-};
-
-namespace detail {
-inline double spec_ns_since(std::chrono::steady_clock::time_point t0) noexcept {
-  return std::chrono::duration<double, std::nano>(
-             std::chrono::steady_clock::now() - t0)
-      .count();
-}
-}  // namespace detail
 
 /// A shared array under speculation: versioned data + (optionally) a PD
 /// shadow with one accessor per worker.  Loop bodies use the vpn-qualified
@@ -76,8 +47,13 @@ class SpecArray final : public SpecTarget {
   /// `run_pd_test` = false means the accesses are statically analyzable
   /// (only time-stamping for undo is needed, no shadow marking) — the
   /// accessors (and their O(n) last-writer tables) are not even built.
-  SpecArray(std::vector<T> init, unsigned workers, bool run_pd_test)
-      : array_(std::move(init)), pd_(run_pd_test),
+  ///
+  /// `shared` optionally aliases a trip-aligned sibling's StampIndex so a
+  /// transaction over both keeps one stamp word per location (see the
+  /// StampIndex class comment for the write-set contract this requires).
+  SpecArray(std::vector<T> init, unsigned workers, bool run_pd_test,
+            std::shared_ptr<StampIndex> shared = nullptr)
+      : array_(std::move(init), std::move(shared)), pd_(run_pd_test),
         shadow_(array_.size(), workers) {
     if (pd_) {
       accessors_.reserve(workers);
@@ -113,6 +89,11 @@ class SpecArray final : public SpecTarget {
   std::vector<T>& data() noexcept { return array_.data(); }
   const std::vector<T>& data() const noexcept { return array_.data(); }
 
+  /// The stamp index, for constructing trip-aligned siblings over it.
+  const std::shared_ptr<StampIndex>& shared_index() const noexcept {
+    return array_.shared_index();
+  }
+
   // ---- SpecTarget ----------------------------------------------------------
 
   void checkpoint(ThreadPool* pool) override { array_.checkpoint(pool); }
@@ -139,6 +120,24 @@ class SpecArray final : public SpecTarget {
   }
   std::size_t memory_bytes() const override { return array_.memory_bytes(); }
   void discard() override { array_.discard_checkpoint(); }
+
+  // ---- fused-transaction hooks --------------------------------------------
+
+  StampIndex* txn_index() noexcept override { return array_.index(); }
+  std::size_t txn_checkpoint_begin() override {
+    return array_.txn_checkpoint_begin();
+  }
+  void txn_checkpoint_span(std::size_t b, std::size_t e) override {
+    array_.txn_checkpoint_span(b, e);
+  }
+  long txn_restore_span(std::size_t b, std::size_t e,
+                        std::uint64_t threshold) override {
+    return array_.restore_span(b, e, threshold);
+  }
+  void txn_restore_all_span(std::size_t b, std::size_t e) override {
+    array_.txn_restore_all_span(b, e);
+  }
+  void txn_restore_all_done() override { array_.clear_stamps(); }
 
   UndoStats undo_stats() const { return array_.stats(); }
 
@@ -175,13 +174,11 @@ ExecReport speculative_while(ThreadPool& pool, long u,
   WLP_TRACE_SCOPE("spec.round", u, targets.size());
   WLP_OBS_COUNT("wlp.spec.rounds", 1);
 
+  SpecTransaction txn(targets);
   {
     WLP_TRACE_SCOPE("spec.checkpoint", u, 0);
     const auto cp0 = std::chrono::steady_clock::now();
-    for (SpecTarget* t : targets) {
-      t->reset_marks();
-      t->checkpoint(&pool);
-    }
+    txn.begin(&pool);
     r.checkpoint_ns = detail::spec_ns_since(cp0);
   }
 
@@ -198,19 +195,18 @@ ExecReport speculative_while(ThreadPool& pool, long u,
   // Instrumentation volume for the cost model: accessors count marks in
   // plain per-worker counters during the run; fold them here, off the hot
   // path, regardless of whether the speculation succeeds.
-  for (SpecTarget* t : targets) r.shadow_marks += t->marks();
+  r.shadow_marks = txn.marks();
   WLP_OBS_COUNT("wlp.pd.marks", r.shadow_marks);
 
   // A sparse backup that hit capacity dropped writes: the parallel execution
   // is incomplete regardless of what the PD test would say.  Treat it like a
   // failed speculation (the backup still restores the exact pre-loop state,
   // because overflowing writers skipped their data store too).
-  for (SpecTarget* t : targets)
-    if (t->overflowed()) {
-      r.backup_overflow = true;
-      failed = true;
-      WLP_OBS_COUNT("wlp.spec.backup_overflow", 1);
-    }
+  if (txn.overflowed()) {
+    r.backup_overflow = true;
+    failed = true;
+    WLP_OBS_COUNT("wlp.spec.backup_overflow", 1);
+  }
 
   if (!failed) {
     r.trip = qr.trip;
@@ -235,7 +231,7 @@ ExecReport speculative_while(ThreadPool& pool, long u,
     WLP_TRACE_SCOPE("spec.seq_reexec", u, 0);
     WLP_OBS_COUNT("wlp.spec.seq_reexec", 1);
     const auto ra0 = std::chrono::steady_clock::now();
-    for (SpecTarget* t : targets) t->restore_all(&pool);
+    txn.restore_all(&pool);
     r.undo_ns = detail::spec_ns_since(ra0);
     r.reexecuted_sequentially = true;
     r.trip = run_sequential();
@@ -245,9 +241,8 @@ ExecReport speculative_while(ThreadPool& pool, long u,
   {
     WLP_TRACE_SCOPE_NAMED(undo_scope, "undo", qr.trip, 0);
     const auto ud0 = std::chrono::steady_clock::now();
-    for (SpecTarget* t : targets)
-      r.undone_writes +=
-          t->undo_beyond(qr.trip, opts.undo_in_parallel ? &pool : nullptr);
+    r.undone_writes +=
+        txn.undo_beyond(qr.trip, opts.undo_in_parallel ? &pool : nullptr);
     r.undo_ns = detail::spec_ns_since(ud0);
     undo_scope.args(static_cast<std::uint64_t>(qr.trip),
                     static_cast<std::uint64_t>(r.undone_writes));

@@ -55,6 +55,10 @@ StripSpecReport strip_speculative_while(ThreadPool& pool, long u, long strip,
   out.exec.used_stamps = true;
   if (strip <= 0) strip = u;
 
+  // ONE transaction for the whole strip sequence: the chunk maps are built
+  // once here, so every strip's begin/undo/restore allocates nothing.
+  SpecTransaction txn(targets);
+
   for (long base = 0; base < u; base += strip) {
     const long end = std::min(base + strip, u);
     ++out.strips_run;
@@ -63,10 +67,9 @@ StripSpecReport strip_speculative_while(ThreadPool& pool, long u, long strip,
 
     {
       const auto cp0 = std::chrono::steady_clock::now();
-      for (SpecTarget* t : targets) {
-        t->reset_marks();  // O(1) epoch bump; no allocation in steady state
-        t->checkpoint(&pool);
-      }
+      // Fused reset (O(1) epoch bumps) + ONE parallel checkpoint pass over
+      // every target; no allocation in steady state.
+      txn.begin(&pool);
       out.exec.checkpoint_ns += detail::spec_ns_since(cp0);
     }
 
@@ -81,19 +84,17 @@ StripSpecReport strip_speculative_while(ThreadPool& pool, long u, long strip,
 
     // Per-strip instrumentation volume (accessor counters reset with the
     // strip's reset_marks() above, so this is exactly this strip's marks).
-    long strip_marks = 0;
-    for (SpecTarget* t : targets) strip_marks += t->marks();
+    const long strip_marks = txn.marks();
     out.exec.shadow_marks += strip_marks;
     WLP_OBS_COUNT("wlp.pd.marks", strip_marks);
 
     // Backup overflow inside the strip = incomplete parallel execution:
     // fail the strip exactly like a PD miss (restore + serial re-run).
-    for (SpecTarget* t : targets)
-      if (t->overflowed()) {
-        out.exec.backup_overflow = true;
-        failed = true;
-        WLP_OBS_COUNT("wlp.spec.backup_overflow", 1);
-      }
+    if (txn.overflowed()) {
+      out.exec.backup_overflow = true;
+      failed = true;
+      WLP_OBS_COUNT("wlp.spec.backup_overflow", 1);
+    }
 
     if (!failed) {
       for (SpecTarget* t : targets) {
@@ -110,7 +111,7 @@ StripSpecReport strip_speculative_while(ThreadPool& pool, long u, long strip,
       ++out.strips_failed;
       WLP_OBS_COUNT("wlp.strip.failures", 1);
       const auto ra0 = std::chrono::steady_clock::now();
-      for (SpecTarget* t : targets) t->restore_all(&pool);
+      txn.restore_all(&pool);
       out.exec.undo_ns += detail::spec_ns_since(ra0);
       const long trip = run_strip_sequential(base, end);
       out.exec.started += trip - base;
@@ -127,9 +128,8 @@ StripSpecReport strip_speculative_while(ThreadPool& pool, long u, long strip,
       {
         WLP_TRACE_SCOPE_NAMED(undo_scope, "undo", qr.trip, 0);
         const auto ud0 = std::chrono::steady_clock::now();
-        for (SpecTarget* t : targets)
-          out.exec.undone_writes +=
-              t->undo_beyond(qr.trip, opts.undo_in_parallel ? &pool : nullptr);
+        out.exec.undone_writes +=
+            txn.undo_beyond(qr.trip, opts.undo_in_parallel ? &pool : nullptr);
         out.exec.undo_ns += detail::spec_ns_since(ud0);
         undo_scope.args(static_cast<std::uint64_t>(qr.trip),
                         static_cast<std::uint64_t>(out.exec.undone_writes));
@@ -139,7 +139,7 @@ StripSpecReport strip_speculative_while(ThreadPool& pool, long u, long strip,
       out.exec.overshot += std::max(0L, qr.started - (qr.trip - base));
       return out;
     }
-    for (SpecTarget* t : targets) t->discard();
+    txn.discard();
   }
 
   out.exec.trip = u;

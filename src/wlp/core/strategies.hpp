@@ -113,12 +113,10 @@ ExecReport stats_enhanced_while(ThreadPool& pool, long u, StampThreshold thresho
   r.used_checkpoint = true;
   r.used_stamps = true;
 
+  SpecTransaction txn(targets);
   {
     const auto cp0 = std::chrono::steady_clock::now();
-    for (SpecTarget* t : targets) {
-      t->reset_marks();
-      t->checkpoint(&pool);
-    }
+    txn.begin(&pool);
     r.checkpoint_ns = detail::spec_ns_since(cp0);
   }
 
@@ -130,23 +128,24 @@ ExecReport stats_enhanced_while(ThreadPool& pool, long u, StampThreshold thresho
   r.started = qr.started;
   r.trip = qr.trip;
   r.overshot = std::max(0L, qr.started - qr.trip);
-  for (SpecTarget* t : targets) r.shadow_marks += t->marks();
+  r.shadow_marks = txn.marks();
   WLP_OBS_COUNT("wlp.pd.marks", r.shadow_marks);
 
   bool abandon = qr.trip < threshold.value;
-  for (SpecTarget* t : targets)
-    if (t->overflowed()) {
-      r.backup_overflow = true;
-      abandon = true;
-      WLP_OBS_COUNT("wlp.spec.backup_overflow", 1);
-    }
+  if (txn.overflowed()) {
+    r.backup_overflow = true;
+    abandon = true;
+    WLP_OBS_COUNT("wlp.spec.backup_overflow", 1);
+  }
   if (abandon) {
     // The estimate was wrong on the short side (unstamped overshot writes
     // exist, so selective undo is impossible) or the backup dropped writes.
     WLP_OBS_COUNT("wlp.spec.abandoned", 1);
     WLP_TRACE_SCOPE("spec.seq_reexec", u, 0);
+    // txn.restore_all is a FULL backup->data copy, never a stamp-filtered
+    // undo: iterations below the stamp threshold wrote unstamped.
     const auto ra0 = std::chrono::steady_clock::now();
-    for (SpecTarget* t : targets) t->restore_all(&pool);
+    txn.restore_all(&pool);
     r.undo_ns = detail::spec_ns_since(ra0);
     r.reexecuted_sequentially = true;
     r.trip = run_sequential();
@@ -156,9 +155,8 @@ ExecReport stats_enhanced_while(ThreadPool& pool, long u, StampThreshold thresho
   {
     WLP_TRACE_SCOPE_NAMED(undo_scope, "undo", qr.trip, 0);
     const auto ud0 = std::chrono::steady_clock::now();
-    for (SpecTarget* t : targets)
-      r.undone_writes +=
-          t->undo_beyond(qr.trip, opts.undo_in_parallel ? &pool : nullptr);
+    r.undone_writes +=
+        txn.undo_beyond(qr.trip, opts.undo_in_parallel ? &pool : nullptr);
     r.undo_ns = detail::spec_ns_since(ud0);
     undo_scope.args(static_cast<std::uint64_t>(qr.trip),
                     static_cast<std::uint64_t>(r.undone_writes));
