@@ -13,6 +13,7 @@
 
 #include "wlp/core/cost_model.hpp"
 #include "wlp/core/shadow.hpp"
+#include "wlp/core/sliding_window.hpp"
 #include "wlp/mem/budget.hpp"
 #include "wlp/obs/obs.hpp"
 #include "wlp/sched/doacross.hpp"
@@ -257,7 +258,8 @@ void scan_recurrence_exits(ExecState& st, int step, const Block& block,
 }  // namespace
 
 PlanExecution run_parallel_plan(ThreadPool& pool, const Loop& loop,
-                                const ParallelPlan& plan, Env& env) {
+                                const ParallelPlan& plan, Env& env,
+                                const PlanExecOptions& opts) {
   if (auto err = validate(loop))
     throw std::runtime_error("run_parallel_plan: " + *err);
 
@@ -392,7 +394,7 @@ PlanExecution run_parallel_plan(ThreadPool& pool, const Loop& loop,
       case BlockKind::kParallel:
       case BlockKind::kUnknownAccess: {
         ++out.parallel_blocks;
-        doall_quit(pool, 0, loop.max_iters, [&](long i, unsigned vpn) {
+        auto block_body = [&](long i, unsigned vpn) {
           bool any = false;
           bool exited = false;
           for (int s : block.stmts) {
@@ -409,7 +411,37 @@ PlanExecution run_parallel_plan(ThreadPool& pool, const Loop& loop,
           }
           if (exited) return IterAction::kExit;
           return any ? IterAction::kContinue : IterAction::kExit;
-        });
+        };
+        if (opts.memory_budget != 0) {
+          // Section 8.2 applied to the interpreter: bound the write-log
+          // footprint with the sliding-window controller.  Every logged
+          // store claimed a ticket, so ticket count x entry size IS the
+          // log's live bytes — a measured signal with no per-worker scan.
+          WindowOptions wopts;
+          wopts.window = opts.window;
+          wopts.min_window = opts.min_window;
+          wopts.max_window = opts.max_window;
+          wopts.memory_budget = opts.memory_budget;
+          wopts.charge_process_budget = opts.charge_process_budget;
+          wopts.live_bytes = [&st] {
+            return static_cast<std::size_t>(
+                       st.ticket.load(std::memory_order_relaxed)) *
+                   sizeof(LoggedWrite);
+          };
+          const WindowReport wrep =
+              sliding_window_while(pool, loop.max_iters, block_body, wopts);
+          ++out.window_runs;
+          out.window_final = wrep.final_window;
+          out.window_shrinks += wrep.window_shrinks;
+          out.window_grows += wrep.window_grows;
+          out.window_cap = wrep.final_cap;
+          out.window_cap_bytes = static_cast<long>(wrep.cap_bytes);
+          out.window_peak_bytes =
+              std::max(out.window_peak_bytes,
+                       static_cast<long>(wrep.peak_stamp_bytes));
+        } else {
+          doall_quit(pool, 0, loop.max_iters, block_body);
+        }
         break;
       }
       case BlockKind::kSequential: {
@@ -521,6 +553,11 @@ PlanExecution run_parallel_plan(ThreadPool& pool, const Loop& loop,
 
   out.trip = trip;
   return out;
+}
+
+PlanExecution run_parallel_plan(ThreadPool& pool, const Loop& loop,
+                                const ParallelPlan& plan, Env& env) {
+  return run_parallel_plan(pool, loop, plan, env, PlanExecOptions{});
 }
 
 }  // namespace wlp::ir

@@ -33,6 +33,20 @@
 
 namespace wlp::ir {
 
+/// Execution-time knobs: the Section 8.2 window/budget surface applied to
+/// the interpreter's parallel blocks.  Default = no budget, and the blocks
+/// run as plain DOALLs exactly as before.  With a budget set, kParallel /
+/// kUnknownAccess blocks run under the sliding-window controller fed by the
+/// MEASURED write-log footprint (every logged store claims a ticket, so
+/// ticket count x entry size is the log's live bytes — no per-worker scan).
+struct PlanExecOptions {
+  std::size_t memory_budget = 0;  ///< 0 = unbudgeted (plain doall_quit)
+  long window = 64;               ///< initial window when budgeted
+  long min_window = 2;
+  long max_window = 1 << 20;
+  bool charge_process_budget = false;  ///< share the process-wide ceiling
+};
+
 struct PlanExecution {
   long trip = 0;
   bool speculation_failed = false;  ///< PD verdict failed -> sequential rerun
@@ -61,8 +75,21 @@ struct PlanExecution {
   long mem_arena_allocs = 0;  ///< arena blocks handed out during the run
   long mem_slow_allocs = 0;   ///< ... of which came from the OS (cold path)
   long mem_bytes_live = 0;    ///< process-wide arena bytes live at exit
+  // Sliding-window decisions for the budgeted parallel blocks (all zero
+  // when PlanExecOptions::memory_budget was 0): what the Section 8.2
+  // controller did with the write-log footprint it measured.
+  long window_runs = 0;        ///< parallel blocks run under the window
+  long window_final = 0;       ///< window size at the end of the last block
+  long window_shrinks = 0;     ///< controller shrink decisions (all blocks)
+  long window_grows = 0;       ///< controller grow decisions (all blocks)
+  long window_cap = 0;         ///< final derived cap (iterations)
+  long window_cap_bytes = 0;   ///< bytes that cap represents (EWMA estimate)
+  long window_peak_bytes = 0;  ///< max measured logged-write footprint
 };
 
+PlanExecution run_parallel_plan(ThreadPool& pool, const Loop& loop,
+                                const ParallelPlan& plan, Env& env,
+                                const PlanExecOptions& opts);
 PlanExecution run_parallel_plan(ThreadPool& pool, const Loop& loop,
                                 const ParallelPlan& plan, Env& env);
 

@@ -1,6 +1,7 @@
 // Execution reports: what a transformed WHILE loop did at run time.
 #pragma once
 
+#include <cstddef>
 #include <string_view>
 
 namespace wlp {
@@ -52,6 +53,9 @@ struct ExecReport {
                               ///< ~p*trip for General-2
   double checkpoint_ns = 0;  ///< measured wall time snapshotting state (Tb)
   double undo_ns = 0;        ///< measured wall time undoing/restoring (Ta)
+  std::size_t peak_spec_bytes = 0;  ///< max bytes the backups measurably
+                                    ///< pinned (SpecTransaction memory_bytes
+                                    ///< polls; 0 = driver did not poll)
   bool used_checkpoint = false;
   bool used_stamps = false;
   bool pd_tested = false;

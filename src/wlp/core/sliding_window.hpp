@@ -7,9 +7,23 @@
 // The window is adjusted dynamically at the application level against a
 // memory budget: grown while the stamp footprint is comfortably under
 // budget, shrunk when it approaches it.
+//
+// The budget controller is TRANSACTION-AWARE (DESIGN.md §10): instead of
+// capping the window once from a static bytes-per-iteration guess, it keeps
+// an EWMA of the MEASURED bytes the backups pin per in-flight iteration
+// (live_bytes() / span, sampled at every claim) and re-derives the hard cap
+// budget / EWMA live.  A footprint_changed() notification from the
+// transaction (an AdaptiveSpecArray flipping hash -> dense is a step jump
+// the poll can miss) makes the next decision adopt the fresh sample
+// outright and clamp straight to the re-derived cap — no waiting for one
+// halving per claim to catch up.  Optionally the controller settles its
+// measured footprint into the process-wide wlp::mem Budget so concurrent
+// loops budget against the SUM and share one ceiling.
 #pragma once
 
 #include <algorithm>
+#include <atomic>
+#include <cassert>
 #include <condition_variable>
 #include <functional>
 #include <limits>
@@ -20,28 +34,42 @@
 #include "wlp/obs/obs.hpp"
 #include "wlp/core/report.hpp"
 #include "wlp/core/speculative.hpp"
+#include "wlp/mem/budget.hpp"
 #include "wlp/sched/doall.hpp"
 #include "wlp/sched/thread_pool.hpp"
 
 namespace wlp {
 
+class WindowController;
+
 struct WindowOptions {
   long window = 64;          ///< initial window size
   long min_window = 2;
   long max_window = 1 << 20;
-  std::size_t bytes_per_iteration = 0;  ///< stamp memory one iteration pins
+  /// SEED for the controller's bytes-per-iteration estimate (first cap
+  /// derivation only).  As soon as measured samples exist the EWMA replaces
+  /// it; with live_bytes unset it doubles as the per-claim footprint guess.
+  std::size_t bytes_per_iteration = 0;
   std::size_t memory_budget = 0;        ///< 0 disables dynamic adjustment
   /// MEASURED backup footprint, polled at every claim: when set, the
   /// controller compares this against the budget instead of multiplying the
-  /// span by the bytes_per_iteration guess.  The speculative wrapper wires
-  /// it to the targets' memory_bytes() (sparse backups report their live
-  /// touched set, dense ones their data+backup+stamp footprint), so the
-  /// window reacts to what the backups actually pinned.  To throttle on the
-  /// WHOLE process's speculative footprint instead of one target set's,
-  /// point it at the arena ledger: `opts.live_bytes = [] {
-  /// return static_cast<std::size_t>(wlp::mem::process_bytes_live()); }`
-  /// (see mem/budget.hpp; the mem tests pin this wiring).
+  /// span by the bytes_per_iteration guess, and feeds the per-iteration
+  /// EWMA that re-derives the window cap.  The speculative wrapper wires it
+  /// to the transaction's fused memory_bytes() (sparse backups report their
+  /// live touched set, dense ones their data+backup+stamp footprint), so
+  /// the window reacts to what the backups actually pinned.  To throttle on
+  /// the WHOLE process's speculative footprint instead of one target set's,
+  /// prefer charge_process_budget below over hand-wiring probes.
   std::function<std::size_t()> live_bytes;
+  /// Settle the measured footprint into wlp::mem::Budget::spec_bytes() and
+  /// budget against the process-wide SUM: concurrent budgeted loops then
+  /// share one ceiling instead of each assuming it owns the whole budget.
+  bool charge_process_budget = false;
+  /// External controller wired by the speculative wrapper (it registers the
+  /// controller as the transaction's footprint listener so backend flips
+  /// clamp the window immediately).  Null = the run builds its own.  A
+  /// controller serves ONE run; construct a fresh one per loop.
+  WindowController* controller = nullptr;
   /// Claim granularity inside the window.  kDynamic issues one iteration
   /// per grab (the original Section 8.2 behavior); kGuided claims
   /// min(remaining/p, window slack) per grab, cutting the lock round-trips
@@ -50,12 +78,148 @@ struct WindowOptions {
   Sched sched = Sched::kDynamic;
 };
 
+/// The transaction-aware budget controller: one instance per windowed run.
+/// adjust() runs under the issue lock at every claim; footprint_changed()
+/// may fire concurrently from any pool worker (it only flips an atomic).
+class WindowController final : public FootprintListener {
+ public:
+  WindowController(long min_window, long max_window, std::size_t budget,
+                   std::size_t seed_bytes_per_iter = 0,
+                   bool charge_process_budget = false)
+      : min_w_(std::max(1L, min_window)),
+        max_w_(std::max(min_w_, max_window)),
+        budget_(budget),
+        charge_(charge_process_budget) {
+    if (seed_bytes_per_iter != 0)
+      ewma_bpi_ = static_cast<double>(seed_bytes_per_iter);
+    recompute_cap();
+  }
+
+  ~WindowController() override { release(); }
+
+  WindowController(const WindowController&) = delete;
+  WindowController& operator=(const WindowController&) = delete;
+
+  /// A member of the transaction step-changed its footprint (backend flip):
+  /// make the next adjust() adopt the fresh sample outright and clamp to
+  /// the re-derived cap instead of smoothing the jump away.
+  void footprint_changed() noexcept override {
+    step_.store(true, std::memory_order_release);
+  }
+
+  /// One budget decision: fold the measured bytes/iteration sample into the
+  /// EWMA, re-derive the cap, settle the process charge, and move the
+  /// window — multiplicative decrease when occupancy approaches the budget,
+  /// additive increase while comfortably under it, always inside the cap.
+  /// Returns the new window size.
+  long adjust(long window, long span, std::size_t in_use) {
+    if (budget_ == 0) return window;
+    const bool step = step_.exchange(false, std::memory_order_acq_rel);
+    const std::size_t occupied = charge_ ? settle(in_use) : in_use;
+    foreign_ = occupied > in_use ? occupied - in_use : 0;
+    if (span > 0 && in_use > 0) {
+      const double sample =
+          static_cast<double>(in_use) / static_cast<double>(span);
+      // A notified step jump resets the average outright: smoothing a ~Nx
+      // flip over 1/alpha claims is exactly the lag the hook exists to
+      // kill.
+      ewma_bpi_ = (ewma_bpi_ <= 0.0 || step)
+                      ? sample
+                      : kAlpha * sample + (1.0 - kAlpha) * ewma_bpi_;
+    }
+    recompute_cap();
+    long w = window;
+    if (occupied * 2 > budget_) {
+      w = std::max(min_w_, w / 2);
+    } else if (w < cap_) {
+      ++w;
+    }
+    w = std::clamp(w, min_w_, cap_);
+    if (w < window)
+      ++shrinks_;
+    else if (w > window)
+      ++grows_;
+    return w;
+  }
+
+  /// Settle any process-budget charge back to zero (run over).  Idempotent;
+  /// the destructor calls it too.
+  void release() noexcept {
+    if (charge_ && charged_ != 0) {
+      mem::Budget::process().add_spec_bytes(-static_cast<long>(charged_));
+      charged_ = 0;
+    }
+  }
+
+  /// Current hard cap on the window (iterations), re-derived at every
+  /// adjust() from budget / EWMA(bytes per iteration).
+  long cap() const noexcept { return cap_; }
+  /// Bytes the current cap represents under the measured estimate — the
+  /// controller's live answer to "how much can a full window pin".
+  std::size_t cap_bytes() const noexcept { return cap_bytes_; }
+  double bytes_per_iteration() const noexcept {
+    return ewma_bpi_ > 0.0 ? ewma_bpi_ : 0.0;
+  }
+  long shrinks() const noexcept { return shrinks_; }
+  long grows() const noexcept { return grows_; }
+
+ private:
+  static constexpr double kAlpha = 0.25;  ///< EWMA weight of the new sample
+
+  void recompute_cap() noexcept {
+    if (budget_ == 0) {
+      cap_ = max_w_;
+      cap_bytes_ = 0;
+      return;
+    }
+    long cap = max_w_;
+    // Budget left for THIS loop: the whole budget minus what concurrent
+    // loops have charged (foreign_ is 0 outside process-budget mode).
+    const std::size_t avail = budget_ > foreign_ ? budget_ - foreign_ : 0;
+    if (ewma_bpi_ > 0.0)
+      cap = static_cast<long>(static_cast<double>(avail) / ewma_bpi_);
+    cap_ = std::clamp(cap, min_w_, max_w_);
+    cap_bytes_ = ewma_bpi_ > 0.0
+                     ? static_cast<std::size_t>(ewma_bpi_ *
+                                                static_cast<double>(cap_))
+                     : avail;
+  }
+
+  /// Process-budget mode: publish our measured footprint delta and return
+  /// the process-wide total (ours + every concurrent loop's).
+  std::size_t settle(std::size_t now) noexcept {
+    mem::Budget::process().add_spec_bytes(static_cast<long>(now) -
+                                          static_cast<long>(charged_));
+    charged_ = now;
+    const long total = mem::Budget::process().spec_bytes();
+    return total > 0 ? static_cast<std::size_t>(total) : 0;
+  }
+
+  const long min_w_;
+  const long max_w_;
+  const std::size_t budget_;
+  const bool charge_;
+  std::atomic<bool> step_{false};
+  double ewma_bpi_ = 0.0;         ///< EWMA of measured bytes per iteration
+  long cap_ = 0;                  ///< derived hard cap (iterations)
+  std::size_t cap_bytes_ = 0;     ///< bytes cap_ represents under the EWMA
+  std::size_t foreign_ = 0;       ///< concurrent loops' charged bytes
+  std::size_t charged_ = 0;       ///< our last settled footprint
+  long shrinks_ = 0;
+  long grows_ = 0;
+};
+
 struct WindowReport {
   ExecReport exec;
   long max_span = 0;       ///< max (h - l) observed; must stay <= max window used
   long final_window = 0;   ///< window size when the loop ended
   long claims = 0;         ///< grabs of the issue lock that yielded work
   std::size_t peak_stamp_bytes = 0;
+  // Controller decisions (zero when no memory_budget was set).
+  long window_shrinks = 0;     ///< multiplicative-decrease decisions
+  long window_grows = 0;       ///< additive-increase decisions
+  long final_cap = 0;          ///< derived hard cap at the end of the run
+  std::size_t cap_bytes = 0;   ///< bytes that cap represents (EWMA estimate)
 };
 
 /// Execute `body(i, vpn) -> IterAction` over [0, u) with windowed dynamic
@@ -72,15 +236,17 @@ WindowReport sliding_window_while(ThreadPool& pool, long u, Body&& body,
   std::condition_variable cv;
   long next = 0;  // next iteration to issue
   long low = 0;   // min iteration not yet completed
-  // The budget caps the window outright: w * bytes_per_iteration <= budget
-  // is the guarantee (peak stamp memory is bounded by the window).
-  long hard_max = opts.max_window;
-  if (opts.memory_budget != 0 && opts.bytes_per_iteration != 0)
-    hard_max = std::min<long>(
-        hard_max, std::max<long>(opts.min_window,
-                                 static_cast<long>(opts.memory_budget /
-                                                   opts.bytes_per_iteration)));
-  long window = std::clamp(opts.window, opts.min_window, hard_max);
+  // The controller caps the window outright: w * bytes-per-iteration <=
+  // budget is the guarantee (peak stamp memory is bounded by the window).
+  // The cap starts from the bytes_per_iteration seed and is re-derived at
+  // every claim from the EWMA of the measured footprint, so it tracks what
+  // the backups actually pin instead of a static guess.
+  WindowController local_ctl(opts.min_window, opts.max_window,
+                             opts.memory_budget, opts.bytes_per_iteration,
+                             opts.charge_process_budget);
+  WindowController& ctl =
+      opts.controller != nullptr ? *opts.controller : local_ctl;
+  long window = std::clamp(opts.window, opts.min_window, ctl.cap());
   std::vector<unsigned char> done(static_cast<std::size_t>(u), 0);
   QuitBound quit;
   long trip_candidate = std::numeric_limits<long>::max();
@@ -119,15 +285,8 @@ WindowReport sliding_window_while(ThreadPool& pool, long u, Body&& body,
                   : static_cast<std::size_t>(next - low) *
                         opts.bytes_per_iteration;
           peak_bytes = std::max(peak_bytes, in_use);
-          // Multiplicative decrease when occupancy approaches the budget,
-          // additive increase while comfortably under it — always inside
-          // the hard cap derived from the budget.
           const long before = window;
-          if (in_use * 2 > opts.memory_budget) {
-            window = std::max(opts.min_window, window / 2);
-          } else {
-            window = std::min(hard_max, window + 1);
-          }
+          window = ctl.adjust(window, next - low, in_use);
           if (window != before) WLP_TRACE_COUNTER("window.size", window);
         }
         started += take;
@@ -163,6 +322,13 @@ WindowReport sliding_window_while(ThreadPool& pool, long u, Body&& body,
     }
   });
 
+  // The backups keep growing after the final claim (bodies still running):
+  // poll the measured footprint once more after the join so the reported
+  // peak covers the post-claim growth the in-claim polls cannot see.
+  if (opts.memory_budget != 0 && opts.live_bytes)
+    peak_bytes = std::max(peak_bytes, opts.live_bytes());
+  ctl.release();
+
   wr.exec.trip = std::min(trip_candidate, u);
   wr.exec.started = started;
   wr.exec.overshot = std::max(0L, started - wr.exec.trip);
@@ -170,11 +336,22 @@ WindowReport sliding_window_while(ThreadPool& pool, long u, Body&& body,
   wr.final_window = window;
   wr.claims = claims;
   wr.peak_stamp_bytes = peak_bytes;
+  wr.exec.peak_spec_bytes = peak_bytes;
+  wr.window_shrinks = ctl.shrinks();
+  wr.window_grows = ctl.grows();
+  wr.final_cap = ctl.cap();
+  wr.cap_bytes = ctl.cap_bytes();
   WLP_OBS_COUNT("wlp.window.runs", 1);
   WLP_OBS_COUNT("wlp.window.claims", claims);
   WLP_OBS_HIST("wlp.window.span", max_span);
   WLP_OBS_HIST("wlp.window.overshoot", wr.exec.overshot);
   WLP_OBS_GAUGE_SET("wlp.window.final_size", window);
+  if (opts.memory_budget != 0) {
+    WLP_OBS_COUNT("wlp.window.shrinks", wr.window_shrinks);
+    WLP_OBS_COUNT("wlp.window.grows", wr.window_grows);
+    WLP_OBS_GAUGE_SET("wlp.window.cap_bytes",
+                      static_cast<long>(wr.cap_bytes));
+  }
   return wr;
 }
 
@@ -207,6 +384,15 @@ WindowReport sliding_window_speculative_while(
   if (wopts.memory_budget != 0 && !wopts.live_bytes) {
     wopts.live_bytes = [&txn] { return txn.memory_bytes(); };
   }
+  // Transaction-aware control: the controller is the transaction's
+  // footprint listener, so a member flipping backends mid-run (a step jump
+  // in memory_bytes() the per-claim poll can miss) clamps the window on the
+  // very next claim.
+  WindowController ctl(wopts.min_window, wopts.max_window,
+                       wopts.memory_budget, wopts.bytes_per_iteration,
+                       wopts.charge_process_budget);
+  if (wopts.controller == nullptr) wopts.controller = &ctl;
+  txn.set_footprint_listener(wopts.controller);
 
   bool failed = false;
   WindowReport wr;
@@ -252,6 +438,12 @@ WindowReport sliding_window_speculative_while(
     wr.exec.undo_ns = detail::spec_ns_since(ra0);
     wr.exec.reexecuted_sequentially = true;
     wr.exec.trip = run_sequential();
+    // The sequential rerun redefines the trip; the overshoot (speculative
+    // bodies at or past it, all rolled back by the restore) must be
+    // recomputed against it, not left at the abandoned speculative value.
+    wr.exec.overshot = std::max(0L, wr.exec.started - wr.exec.trip);
+    assert(wr.exec.trip >= 0);
+    assert(wr.exec.overshot <= wr.exec.started);
     return wr;
   }
 

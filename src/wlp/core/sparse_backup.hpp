@@ -149,6 +149,19 @@ class HashBackup {
     return entries() * sizeof(Slot);
   }
 
+  /// Visit every live recorded entry as (array index, saved pre-loop
+  /// value).  Quiescent-only — no concurrent record() may be in flight:
+  /// the AdaptiveSpecArray mid-run hash->dense upgrade uses this to graft
+  /// the saved values onto the freshly built dense backup.
+  template <class F>
+  void for_each_entry(F&& fn) const {
+    for (const Slot& s : slots_) {
+      const std::uint64_t tag = s.tag.load(std::memory_order_acquire);
+      if ((tag >> 32) != epoch_.value()) continue;  // free or stale slot
+      fn(static_cast<std::size_t>(tag & 0xffffffffu) - 1, s.saved);
+    }
+  }
+
   long resets() const noexcept { return epoch_.resets(); }
   long sweeps() const noexcept { return epoch_.sweeps(); }
 

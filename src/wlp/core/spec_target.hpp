@@ -18,6 +18,7 @@
 //     hooks with defaults is non-breaking — no external subclasses exist.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
@@ -28,10 +29,34 @@
 
 namespace wlp {
 
+/// Receives footprint step-change notifications.  The chain is
+/// SpecTarget::footprint_changed() -> SpecTransaction -> window controller:
+/// the per-claim memory_bytes() poll tracks gradual backup growth, but a
+/// backend flip (AdaptiveSpecArray hash -> dense) is a step jump the poll
+/// can miss for a claim or more — the hook lets the window clamp on the
+/// very next decision.  Implementations are called from pool workers and
+/// must be lock-free and noexcept.
+class FootprintListener {
+ public:
+  virtual ~FootprintListener() = default;
+  virtual void footprint_changed() noexcept = 0;
+};
+
 /// Type-erased interface over one array participating in a speculation.
 class SpecTarget {
  public:
   virtual ~SpecTarget() = default;
+
+  /// Notify the registered listener that memory_bytes() just step-changed
+  /// (backend flip, bulk adoption of a checkpoint).  Safe to call with no
+  /// listener registered; subclasses call this, drivers register.
+  void footprint_changed() noexcept {
+    FootprintListener* l = footprint_listener_.load(std::memory_order_acquire);
+    if (l != nullptr) l->footprint_changed();
+  }
+  void set_footprint_listener(FootprintListener* l) noexcept {
+    footprint_listener_.store(l, std::memory_order_release);
+  }
   /// Snapshot before the speculative run (the Tb term).  The pool, when
   /// given, parallelizes the copy; nullptr keeps it serial.
   virtual void checkpoint(ThreadPool* pool) = 0;
@@ -98,6 +123,9 @@ class SpecTarget {
                               std::size_t /*hi*/) {
     return 0;
   }
+
+ private:
+  std::atomic<FootprintListener*> footprint_listener_{nullptr};
 };
 
 namespace detail {

@@ -154,6 +154,12 @@ class SpecArray final : public SpecTarget {
 struct SpecOptions {
   DoallOptions doall{};
   bool undo_in_parallel = true;
+  /// Memory budget for the transaction's measured footprint (0 = none).
+  /// The strip driver adapts its strip length against it — halving the next
+  /// strip when the fused memory_bytes() poll crosses half the budget,
+  /// growing back additively while comfortable — so callers stop wiring
+  /// per-target byte probes by hand; the drivers ask the transaction.
+  std::size_t memory_budget = 0;
 };
 
 /// Run a WHILE loop speculatively in parallel over [0, u).
@@ -197,6 +203,10 @@ ExecReport speculative_while(ThreadPool& pool, long u,
   // path, regardless of whether the speculation succeeds.
   r.shadow_marks = txn.marks();
   WLP_OBS_COUNT("wlp.pd.marks", r.shadow_marks);
+  // Backups are at their fullest right after the parallel section: one
+  // fused poll is the run's measured peak (same signal the sliding-window
+  // controller budgets against).
+  r.peak_spec_bytes = txn.memory_bytes();
 
   // A sparse backup that hit capacity dropped writes: the parallel execution
   // is incomplete regardless of what the PD test would say.  Treat it like a

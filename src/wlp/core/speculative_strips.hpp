@@ -38,6 +38,14 @@ struct StripSpecReport {
   long claims = 0;         ///< scheduler grabs across all strips (see
                            ///< QuitResult::claims); guided opts.doall.sched
                            ///< shrinks this without changing strip semantics
+  // Transaction-aware strip control (active when opts.memory_budget != 0):
+  // the driver polls the transaction's fused memory_bytes() after every
+  // strip and halves the NEXT strip when the measured footprint crosses
+  // half the budget (committing more often pins less), growing back
+  // additively while comfortable.  exec.peak_spec_bytes carries the max
+  // polled value either way.
+  long strip_shrinks = 0;  ///< times the next strip was halved
+  long final_strip = 0;    ///< strip length in effect when the loop ended
 };
 
 /// `body(i, vpn) -> IterAction` is the instrumented parallel body (routes
@@ -59,8 +67,11 @@ StripSpecReport strip_speculative_while(ThreadPool& pool, long u, long strip,
   // once here, so every strip's begin/undo/restore allocates nothing.
   SpecTransaction txn(targets);
 
-  for (long base = 0; base < u; base += strip) {
-    const long end = std::min(base + strip, u);
+  long cur_strip = strip;
+  out.final_strip = cur_strip;
+  long base = 0;
+  while (base < u) {
+    const long end = std::min(base + cur_strip, u);
     ++out.strips_run;
     WLP_TRACE_SCOPE("strip", base, end - base);
     WLP_OBS_COUNT("wlp.strip.runs", 1);
@@ -87,6 +98,24 @@ StripSpecReport strip_speculative_while(ThreadPool& pool, long u, long strip,
     const long strip_marks = txn.marks();
     out.exec.shadow_marks += strip_marks;
     WLP_OBS_COUNT("wlp.pd.marks", strip_marks);
+
+    // Transaction-aware strip control: the backups are at their fullest
+    // right after the strip's parallel section, so poll the fused footprint
+    // here — before commit/restore clears it — and resize the NEXT strip
+    // against the budget.  This retires the hand-wired per-target byte
+    // probes callers used to need: the driver asks the transaction.
+    if (opts.memory_budget != 0) {
+      const std::size_t pinned = txn.memory_bytes();
+      out.exec.peak_spec_bytes = std::max(out.exec.peak_spec_bytes, pinned);
+      if (pinned * 2 > opts.memory_budget) {
+        const long before = cur_strip;
+        cur_strip = std::max(1L, cur_strip / 2);
+        if (cur_strip != before) ++out.strip_shrinks;
+      } else {
+        cur_strip = std::min(strip, cur_strip + std::max(1L, strip / 8));
+      }
+      out.final_strip = cur_strip;
+    }
 
     // Backup overflow inside the strip = incomplete parallel execution:
     // fail the strip exactly like a PD miss (restore + serial re-run).
@@ -120,6 +149,7 @@ StripSpecReport strip_speculative_while(ThreadPool& pool, long u, long strip,
         out.exec.reexecuted_sequentially = true;  // at least one strip was
         return out;
       }
+      base = end;
       continue;
     }
 
@@ -140,6 +170,7 @@ StripSpecReport strip_speculative_while(ThreadPool& pool, long u, long strip,
       return out;
     }
     txn.discard();
+    base = end;
   }
 
   out.exec.trip = u;

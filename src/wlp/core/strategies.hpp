@@ -130,6 +130,10 @@ ExecReport stats_enhanced_while(ThreadPool& pool, long u, StampThreshold thresho
   r.overshot = std::max(0L, qr.started - qr.trip);
   r.shadow_marks = txn.marks();
   WLP_OBS_COUNT("wlp.pd.marks", r.shadow_marks);
+  // Measured peak via the transaction (backups fullest right after the
+  // parallel section) — the same fused signal every budget-aware driver
+  // reads, replacing any per-target probing by the caller.
+  r.peak_spec_bytes = txn.memory_bytes();
 
   bool abandon = qr.trip < threshold.value;
   if (txn.overflowed()) {

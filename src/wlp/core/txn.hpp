@@ -64,7 +64,7 @@ namespace wlp {
 /// ONCE per driver invocation (the strip driver keeps it across strips) —
 /// the constructor precomputes the chunk maps, so begin()/undo_beyond()/
 /// restore_all() allocate nothing in steady state.
-class SpecTransaction {
+class SpecTransaction : public FootprintListener {
  public:
   /// Elements per fused-checkpoint chunk (matches VersionedArray's
   /// internal checkpoint granularity).
@@ -117,6 +117,38 @@ class SpecTransaction {
       undo_prefix_.push_back(
           undo_prefix_.back() +
           static_cast<long>((s.slots + kSlotChunk - 1) / kSlotChunk));
+    // Footprint chain: every member reports its step jumps (backend flips)
+    // to the transaction, which forwards ONE fused event to whoever
+    // registered via set_footprint_listener (the window controller).
+    for (SpecTarget* t : all_) t->set_footprint_listener(this);
+  }
+
+  ~SpecTransaction() override {
+    for (SpecTarget* t : all_) t->set_footprint_listener(nullptr);
+  }
+
+  SpecTransaction(const SpecTransaction&) = delete;
+  SpecTransaction& operator=(const SpecTransaction&) = delete;
+
+  /// A member's footprint just step-changed: count it and forward the fused
+  /// event.  Called from pool workers — lock-free, noexcept.
+  void footprint_changed() noexcept override {
+    footprint_epochs_.fetch_add(1, std::memory_order_relaxed);
+    FootprintListener* l = listener_.load(std::memory_order_acquire);
+    if (l != nullptr) l->footprint_changed();
+  }
+
+  /// Register the downstream listener (the sliding-window controller); null
+  /// detaches.  The transaction stays registered with its members either
+  /// way, so the epoch counter below keeps counting.
+  void set_footprint_listener(FootprintListener* l) noexcept {
+    listener_.store(l, std::memory_order_release);
+  }
+
+  /// Step-change notifications received since construction (tests pin the
+  /// flip -> transaction -> controller chain on this).
+  long footprint_epochs() const noexcept {
+    return footprint_epochs_.load(std::memory_order_relaxed);
   }
 
   /// Reset every member's marks and take the fused checkpoint: one parallel
@@ -317,6 +349,8 @@ class SpecTransaction {
   std::vector<long> cp_prefix_;      ///< chunk-id prefix per fused member
   std::vector<long> undo_prefix_;    ///< unit-id prefix: groups then sparse
   std::size_t stamp_bytes_saved_ = 0;
+  std::atomic<FootprintListener*> listener_{nullptr};
+  std::atomic<long> footprint_epochs_{0};
 };
 
 /// A speculation target that picks dense VersionedArray vs sparse
@@ -407,15 +441,59 @@ class AdaptiveSpecArray final : public SpecTarget {
 
   UndoStats undo_stats() const { return array_.stats(); }
 
+  /// Mid-run upgrade hash -> dense: adopt the dense backend NOW without
+  /// losing the hash-recorded undo state.  The dense backup is rebuilt to
+  /// the pre-loop view — bulk copy of the current data, then the hash's
+  /// saved values grafted over the locations it recorded (their data
+  /// elements already hold speculative writes) — so a later undo behaves
+  /// as if the retry had two stamped backends: pre-flip writes restore
+  /// through the hash slots, post-flip writes through the dense stamps.
+  ///
+  /// The caller must be quiescent: no concurrent body may be mid-iteration
+  /// (a claim boundary, or a single-worker pool).  This is the step jump in
+  /// memory_bytes() the footprint_changed() chain exists for, so the
+  /// registered listener is notified before returning.
+  void flip_to_dense(ThreadPool* pool = nullptr) {
+    if (mode_ != BackupKind::kHash) return;
+    const std::size_t n = array_.data().size();
+    array_.txn_checkpoint_begin();
+    if (pool != nullptr && n > SpecTransaction::kCpChunk) {
+      const long nchunks = static_cast<long>(
+          (n + SpecTransaction::kCpChunk - 1) / SpecTransaction::kCpChunk);
+      doall(*pool, 0, nchunks, [&](long c, unsigned) {
+        const std::size_t b =
+            static_cast<std::size_t>(c) * SpecTransaction::kCpChunk;
+        array_.txn_checkpoint_span(b,
+                                   std::min(b + SpecTransaction::kCpChunk, n));
+      });
+    } else {
+      array_.txn_checkpoint_span(0, n);
+    }
+    hash_.for_each_entry([this](std::size_t idx, const T& saved) {
+      array_.patch_backup(idx, saved);
+    });
+    mode_ = BackupKind::kDense;
+    decision_.kind = BackupKind::kDense;
+    WLP_OBS_COUNT("wlp.txn.backup_flips", 1);
+    footprint_changed();
+  }
+
   // ---- SpecTarget ----------------------------------------------------------
 
   void checkpoint(ThreadPool* pool) override {
     if (mode_ == BackupKind::kDense) array_.checkpoint(pool);
   }
   long undo_beyond(long trip, ThreadPool* pool) override {
-    return mode_ == BackupKind::kDense
-               ? array_.undo_beyond(trip, pool)
-               : hash_.undo_into(array_.data(), trip, pool);
+    if (mode_ == BackupKind::kDense) {
+      long undone = array_.undo_beyond(trip, pool);
+      // After a mid-run hash->dense upgrade (flip_to_dense) the pre-flip
+      // writes are stamped only in the hash slots; a plain dense retry
+      // holds no entries, so this costs nothing in the common case.
+      if (hash_.entries() != 0)
+        undone += hash_.undo_into(array_.data(), trip, pool);
+      return undone;
+    }
+    return hash_.undo_into(array_.data(), trip, pool);
   }
   void restore_all(ThreadPool* pool) override {
     if (mode_ == BackupKind::kDense)
@@ -454,7 +532,18 @@ class AdaptiveSpecArray final : public SpecTarget {
     return mode_ == BackupKind::kHash && hash_.overflowed();
   }
   std::size_t memory_bytes() const override {
-    return array_.memory_bytes() + hash_.memory_bytes();
+    // Only the LIVE backend's state is pinned by this retry — summing both
+    // sides charged the window budget ~3n dense bytes on a hash retry whose
+    // true footprint was a handful of slots, collapsing the window to its
+    // minimum for no reason.  The idle side still charges what it actually
+    // holds: on a dense retry the hash table is empty (0 bytes) except
+    // right after a mid-run flip, when its recorded pre-flip entries stay
+    // pinned until the next clear; on a hash retry the dense data/stamps
+    // are not speculative state, but a pooled backup buffer allocated by an
+    // earlier dense retry remains held.
+    if (mode_ == BackupKind::kDense)
+      return array_.memory_bytes() + hash_.memory_bytes();
+    return hash_.memory_bytes() + array_.backup_bytes();
   }
   void discard() override {
     array_.discard_checkpoint();
@@ -500,10 +589,15 @@ class AdaptiveSpecArray final : public SpecTarget {
     decision_ = choose_backup(array_.size(), touched, measured_tb_,
                               measured_ta_);
     if (hash_banned_) decision_.kind = BackupKind::kDense;
+    const BackupKind before = mode_;
     mode_ = decision_.kind;
     WLP_OBS_COUNT(mode_ == BackupKind::kDense ? "wlp.txn.backup_dense"
                                               : "wlp.txn.backup_hash",
                   1);
+    // A backend change is a step jump in memory_bytes() (dense pins
+    // data+backup+stamps where hash pinned live slots): tell the window
+    // controller instead of letting the next claim's poll discover it late.
+    if (mode_ != before) footprint_changed();
   }
 
   VersionedArray<T> array_;

@@ -590,6 +590,25 @@ class VersionedArray {
            (clearer_ ? index_->memory_bytes() : 0);
   }
 
+  /// Bytes the pooled dense backup retains on its own (allocated once,
+  /// reused across checkpoints).  An AdaptiveSpecArray on a HASH retry
+  /// charges only this slice of the dense side: the data array and stamps
+  /// are not speculative state on a hash retry, but a backup buffer
+  /// allocated by an earlier dense retry stays held.
+  std::size_t backup_bytes() const noexcept {
+    return backup_.capacity() * sizeof(T);
+  }
+
+  /// Overwrite one pooled-backup element.  The AdaptiveSpecArray mid-run
+  /// hash->dense upgrade rebuilds the backup's pre-loop view with a bulk
+  /// copy of the current data followed by this patch for every location the
+  /// hash side saved first (those data elements already hold speculative
+  /// values).
+  void patch_backup(std::size_t idx, const T& v) noexcept {
+    assert(has_checkpoint());
+    backup_[idx] = v;
+  }
+
   UndoStats stats() const noexcept {
     UndoStats s = stats_;
     s.resets = index_->resets();

@@ -40,6 +40,7 @@ struct BudgetSnapshot {
   long arena_allocs = 0;  ///< blocks handed out (carve + recycle)
   long slow_allocs = 0;   ///< allocations that reached the OS
   long frees = 0;         ///< blocks returned to arena free lists
+  long spec_bytes = 0;    ///< backup bytes window controllers have charged
 };
 
 class Budget {
@@ -76,6 +77,21 @@ class Budget {
     frees_.fetch_add(1, std::memory_order_relaxed);
   }
 
+  // ---- speculative-footprint charge (window controllers) -------------------
+
+  /// Bytes of backup state the sliding-window controllers have published as
+  /// pinned by in-flight speculative runs (charge_process_budget mode).
+  /// Concurrent loops each settle their own measured footprint here and
+  /// budget against the SUM, so they share one ceiling instead of each
+  /// assuming it owns the whole budget.  A controller settles back to zero
+  /// when its run ends.
+  void add_spec_bytes(long delta) noexcept {
+    spec_bytes_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  long spec_bytes() const noexcept {
+    return spec_bytes_.load(std::memory_order_relaxed);
+  }
+
   // ---- read side -----------------------------------------------------------
 
   long bytes_live() const noexcept {
@@ -98,6 +114,7 @@ class Budget {
     s.arena_allocs = arena_allocs();
     s.slow_allocs = slow_allocs();
     s.frees = frees_.load(std::memory_order_relaxed);
+    s.spec_bytes = spec_bytes();
     return s;
   }
 
@@ -109,6 +126,7 @@ class Budget {
   alignas(64) std::atomic<long> arena_allocs_{0};
   alignas(64) std::atomic<long> slow_allocs_{0};
   alignas(64) std::atomic<long> frees_{0};
+  alignas(64) std::atomic<long> spec_bytes_{0};
 };
 
 /// Convenience for budget-driven controllers (the sliding-window memory
