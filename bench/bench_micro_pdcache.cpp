@@ -1,0 +1,215 @@
+// Verdict-cache microbenchmark: the memoized PD analysis (wlp::pdcache)
+// vs the full fold it replaces, on the real host.
+//
+// Three regimes over the same strip-loop shape (64 strips of 512
+// iterations against a 2^16-element shadowed array):
+//   1. Steady state — every strip repeats the same relative access
+//      pattern, so after strip 0 every signature HITS.  Timed quantity is
+//      the analysis phase alone: the per-worker summary fold + table probe
+//      on the cached side vs the pool-wide O(n) shadow merge on the
+//      uncached side.  Flag: >= 1.5x (the acceptance floor; the real gap
+//      is usually an order of magnitude).
+//   2. Adversarial — the touched window marches with the absolute
+//      iteration, so every strip's signature is NEW: the cache pays the
+//      per-mark summary tax, the fold, a missed probe, and an insert, and
+//      then runs the full analysis anyway.  Timed quantity is the whole
+//      strip retry (reset + instrumented marks + analysis) so the
+//      signature tax on the marking path is charged too.  Flag: cache-on
+//      within 0.95x of cache-off — the cache may never cost more than 5%
+//      where it cannot help.
+//   3. Invalidation storm — steady pattern, but the table is invalidated
+//      before every analysis (the misspeculation worst case: every probe
+//      misses AND the epoch bump runs every strip).  Same 0.95x flag.
+//
+// Both sides of each regime run back-to-back within one rep (alternating
+// order across reps); the flags use the MEDIAN of per-rep paired ratios
+// (cancels host drift), the reported times the per-side min.
+//
+// Emits BENCH_pdcache.json (path overridable via argv[1]); exit code is
+// the AND of the three flags, so CI fails on a lost steady-state win or
+// on cache overhead leaking past the adversarial band.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "wlp/core/speculative.hpp"
+#include "wlp/pd/verdict_cache.hpp"
+#include "wlp/support/stats.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+double min_of(const std::vector<double>& v) {
+  return *std::min_element(v.begin(), v.end());
+}
+
+enum class Regime { kSteady, kAdversarial, kStorm };
+
+struct SeriesPoint {
+  double on_us = 0;    ///< min over reps, cache attached
+  double off_us = 0;   ///< min over reps, full analysis every strip
+  double ratio = 0;    ///< median of per-rep paired off/on ratios
+  long hits = 0;
+  long misses = 0;
+  long invalidations = 0;
+};
+
+long g_sink = 0;  // defeats dead-verdict elimination
+
+/// One regime: `reps` recorded passes (plus one warmup) of the 64-strip
+/// loop, each pass running the cached and uncached sides back-to-back on
+/// their own array+shadow state.
+SeriesPoint run_regime(wlp::ThreadPool& pool, Regime regime, int reps) {
+  const long n = 1 << 16, strip = 512, strips = 64;
+  wlp::SpecArray<double> arr(
+      std::vector<double>(static_cast<std::size_t>(n), 0.0), pool.size(),
+      /*run_pd_test=*/true);
+  wlp::SpecTarget* t = &arr;
+  wlp::pdcache::VerdictCache cache;
+  long march = 0;  // persists across strips AND reps: adversarial strips
+                   // never repeat a signature
+
+  // One full pass over the strip series; returns the accumulated timed
+  // microseconds.  Steady state times the analysis phase alone; the other
+  // regimes time the whole strip retry so the cached side is charged for
+  // the per-mark summary tax and (storm) the epoch bump.
+  const auto run_strips = [&](bool cached) {
+    t->enable_access_signatures(cached);
+    double us = 0;
+    for (long k = 0; k < strips; ++k) {
+      const long base = k * strip, end = base + strip;
+      auto t0 = Clock::now();
+      t->reset_marks();
+      for (long i = base; i < end; ++i) {
+        arr.begin_iteration(0, i);
+        const long rel = i - base;
+        const std::size_t idx =
+            regime == Regime::kAdversarial
+                ? static_cast<std::size_t>((march + rel) % n)
+                : static_cast<std::size_t>(rel);
+        arr.set(0, i, idx, 1.0);
+      }
+      // 63 is coprime to the power-of-two n: the marching window repeats
+      // only after n strips, far past the run, so NO adversarial signature
+      // ever recurs (a step of `strip` would wrap after n/strip strips and
+      // the "adversarial" cache would quietly start hitting).
+      if (regime == Regime::kAdversarial) march += 63;
+      if (regime == Regime::kSteady) t0 = Clock::now();
+      if (cached && regime == Regime::kStorm) cache.invalidate_all();
+      const wlp::PDVerdict v =
+          cached ? wlp::pdcache::analyze_with_cache(&cache, *t, pool, base,
+                                                    end, nullptr)
+                 : t->analyze(pool, end);
+      us += seconds_since(t0) * 1e6;
+      g_sink += v.written_elements + v.conflicts;
+    }
+    return us;
+  };
+
+  SeriesPoint pt;
+  std::vector<double> on_us, off_us, ratios;
+  for (int r = -1; r < reps; ++r) {  // rep -1 = warmup, not recorded
+    double on, off;
+    if (r % 2 == 0) {
+      on = run_strips(true);
+      off = run_strips(false);
+    } else {
+      off = run_strips(false);
+      on = run_strips(true);
+    }
+    if (r < 0) continue;
+    on_us.push_back(on);
+    off_us.push_back(off);
+    ratios.push_back(off / on);
+  }
+  pt.on_us = min_of(on_us);
+  pt.off_us = min_of(off_us);
+  pt.ratio = wlp::median(ratios);
+  const wlp::pdcache::CacheStats st = cache.stats();
+  pt.hits = st.hits;
+  pt.misses = st.misses;
+  pt.invalidations = st.invalidations;
+  return pt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* out_path = argc > 1 ? argv[1] : "BENCH_pdcache.json";
+  constexpr int kReps = 15;
+  wlp::ThreadPool pool(wlp::ThreadPool::default_concurrency());
+
+  std::printf("== pd verdict cache: 64 strips x 512 iters over 2^16 elements (us/series) ==\n");
+  const SeriesPoint steady = run_regime(pool, Regime::kSteady, kReps);
+  std::printf("  steady (analysis only)  on %9.1f  off %9.1f  (median %.2fx)  hits=%ld misses=%ld\n",
+              steady.on_us, steady.off_us, steady.ratio, steady.hits,
+              steady.misses);
+  const SeriesPoint adv = run_regime(pool, Regime::kAdversarial, kReps);
+  std::printf("  adversarial (full strip) on %9.1f  off %9.1f  (median %.2fx)  hits=%ld misses=%ld\n",
+              adv.on_us, adv.off_us, adv.ratio, adv.hits, adv.misses);
+  const SeriesPoint storm = run_regime(pool, Regime::kStorm, kReps);
+  std::printf("  storm (full strip)       on %9.1f  off %9.1f  (median %.2fx)  invalidations=%ld\n",
+              storm.on_us, storm.off_us, storm.ratio, storm.invalidations);
+
+  // Sanity: the regimes must exercise what they claim to.  Steady state
+  // hits on every strip after the first per cached pass; the adversarial
+  // and storm caches never hit at all.
+  const long passes = kReps + 1;
+  bool shape_ok = true;
+  if (steady.hits != passes * 64 - 1 || adv.hits != 0 || storm.hits != 0 ||
+      storm.invalidations != passes * 64) {
+    std::fprintf(stderr,
+                 "regime shape violated: steady hits %ld (want %ld), "
+                 "adversarial hits %ld, storm hits %ld inval %ld (want %ld)\n",
+                 steady.hits, passes * 64 - 1, adv.hits, storm.hits,
+                 storm.invalidations, passes * 64);
+    shape_ok = false;
+  }
+
+  const bool steady_ok = steady.ratio >= 1.5;
+  const bool adversarial_ok = adv.ratio >= 0.95;
+  const bool storm_ok = storm.ratio >= 0.95;
+  std::printf("\nsteady_ok=%d (>=1.5x)  adversarial_ok=%d (>=0.95x)  storm_ok=%d (>=0.95x)\n",
+              steady_ok, adversarial_ok, storm_ok);
+
+  std::FILE* f = std::fopen(out_path, "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot open %s\n", out_path);
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"micro_pdcache\",\n");
+  std::fprintf(f, "  \"host_hw_concurrency\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"method\": \"%d alternating reps (plus warmup) of a 64-strip x 512-iteration loop over a 2^16-element shadowed array, cached and uncached sides back-to-back within each rep; steady state times the analysis phase alone (summary fold + probe vs pool-wide shadow merge), adversarial and storm time the whole strip retry so the per-mark signature tax and the epoch bump are charged; speedup is the MEDIAN of per-rep paired off/on ratios, reported times are per-side mins; flags: steady >= 1.5x, adversarial and storm >= 0.95x\",\n",
+               kReps);
+  const auto emit = [&](const char* key, const SeriesPoint& p, double floor,
+                        bool ok, bool comma) {
+    std::fprintf(f,
+                 "  \"%s\": {\"cache_on_us\": %.2f, \"cache_off_us\": %.2f, "
+                 "\"speedup\": %.3f, \"hits\": %ld, \"misses\": %ld, "
+                 "\"invalidations\": %ld, \"flag_min\": %.2f, \"ok\": %s}%s\n",
+                 key, p.on_us, p.off_us, p.ratio, p.hits, p.misses,
+                 p.invalidations, floor, ok ? "true" : "false",
+                 comma ? "," : "");
+  };
+  emit("steady_state", steady, 1.5, steady_ok, true);
+  emit("adversarial", adv, 0.95, adversarial_ok, true);
+  emit("invalidation_storm", storm, 0.95, storm_ok, true);
+  std::fprintf(f, "  \"host_note\": \"the off side's analysis cost scales "
+               "with cores (pool-wide merge); on single-core hosts the "
+               "steady-state speedup is LARGER, not smaller, since the "
+               "serial merge is what the cache skips\"\n");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", out_path);
+  return !(shape_ok && steady_ok && adversarial_ok && storm_ok);
+}

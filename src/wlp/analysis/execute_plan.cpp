@@ -327,6 +327,10 @@ PlanExecution run_parallel_plan(ThreadPool& pool, const Loop& loop,
     if (it == env.arrays.end()) continue;
     st.shadows[a] =
         std::make_unique<PDPrivateShadow>(it->second.size(), pool.size());
+    // With a verdict cache attached, shadows accumulate access summaries so
+    // the verdict step below can memoize by signature (before any marking —
+    // the accessors' markers bind lazily and pick the mode up then).
+    if (opts.verdict_cache != nullptr) st.shadows[a]->enable_signatures(true);
     for (unsigned w = 0; w < pool.size(); ++w)
       st.accessors[w].emplace(
           a, PDPrivateAccessor(*st.shadows[a], it->second.size(), w));
@@ -478,10 +482,37 @@ PlanExecution run_parallel_plan(ThreadPool& pool, const Loop& loop,
   long trip = loop.max_iters;
   for (const FiredExit& e : st.fired) trip = std::min(trip, e.iter);
 
+  const pdcache::CacheStats pc0 = opts.verdict_cache != nullptr
+                                      ? opts.verdict_cache->stats()
+                                      : pdcache::CacheStats{};
   for (const auto& [name, shadow] : st.shadows) {
     (void)name;
-    const PDVerdict v = shadow->analyze(pool, trip);
+    PDVerdict v;
+    if (opts.verdict_cache != nullptr && shadow->signatures_enabled()) {
+      // No VersionedArray stamps here (the interpreter undoes through its
+      // write log), so the signature's write-density field is 0 — constant
+      // across executions of one plan, which is all it needs to be.
+      const pdcache::AccessSignature sig = pdcache::make_signature(
+          shadow->access_summary(), /*base=*/0, trip, /*dirty_blocks=*/0);
+      pdcache::Verdict cached;
+      if (opts.verdict_cache->lookup(sig, &cached)) {
+        v = cached.pd;
+      } else {
+        v = shadow->analyze(pool, trip);
+        opts.verdict_cache->insert(sig, pdcache::Verdict::from(v));
+      }
+    } else {
+      v = shadow->analyze(pool, trip);
+    }
     if (!v.fully_parallel()) out.speculation_failed = true;
+  }
+  if (out.speculation_failed && opts.verdict_cache != nullptr)
+    opts.verdict_cache->invalidate_all();
+  if (opts.verdict_cache != nullptr) {
+    const pdcache::CacheStats pc1 = opts.verdict_cache->stats();
+    out.pdcache_hits = pc1.hits - pc0.hits;
+    out.pdcache_misses = pc1.misses - pc0.misses;
+    out.pdcache_invalidations = pc1.invalidations - pc0.invalidations;
   }
   std::vector<LoggedWrite> writes;
   for (auto& l : st.logs) {

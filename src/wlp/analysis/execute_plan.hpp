@@ -29,6 +29,7 @@
 #pragma once
 
 #include "wlp/analysis/plan.hpp"
+#include "wlp/pd/verdict_cache.hpp"
 #include "wlp/sched/thread_pool.hpp"
 
 namespace wlp::ir {
@@ -45,6 +46,11 @@ struct PlanExecOptions {
   long min_window = 2;
   long max_window = 1 << 20;
   bool charge_process_budget = false;  ///< share the process-wide ceiling
+  /// Optional cross-execution verdict memoization for the unknown-access
+  /// blocks' PD analysis (pd/verdict_cache.hpp).  A caller re-running the
+  /// same plan in steady state shares one cache across executions; a
+  /// failed speculation invalidates it.
+  pdcache::VerdictCache* verdict_cache = nullptr;
 };
 
 struct PlanExecution {
@@ -85,6 +91,11 @@ struct PlanExecution {
   long window_cap = 0;         ///< final derived cap (iterations)
   long window_cap_bytes = 0;   ///< bytes that cap represents (EWMA estimate)
   long window_peak_bytes = 0;  ///< max measured logged-write footprint
+  // Verdict-cache activity during THIS execution (wlp.pd.cache.* counter
+  // deltas between entry and exit; all zero without a cache attached).
+  long pdcache_hits = 0;
+  long pdcache_misses = 0;
+  long pdcache_invalidations = 0;
 };
 
 PlanExecution run_parallel_plan(ThreadPool& pool, const Loop& loop,

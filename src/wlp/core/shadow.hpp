@@ -55,8 +55,75 @@
 #include "wlp/mem/epoch.hpp"
 #include "wlp/obs/obs.hpp"
 #include "wlp/sched/thread_pool.hpp"
+#include "wlp/support/prng.hpp"
 
 namespace wlp {
+
+/// Per-worker access summary for the verdict cache (wlp::pdcache): a
+/// constant-size digest of every mark a worker made since the last reset,
+/// cheap enough to maintain inline on the marking hot path and to fold
+/// across workers in O(workers) — no cell sweep.
+///
+/// The digest must satisfy two invariances so equal access patterns hash
+/// equal across strips:
+///   * schedule invariance — which worker marked what varies run to run, so
+///     every component is a commutative fold (sums mod 2^64, min/max);
+///   * base invariance — strip k replays the pattern at iterations
+///     [base, base+s), so iteration numbers enter only through moment sums
+///     Σ m(idx)·(iter+1)^k, which the signature builder rebases exactly:
+///     Σ m·(t−b+1) = h1 − b·h0 and Σ m·(t−b+1)² = h2 − 2b·h1 + b²·h0.
+/// Two moments bind (idx, iter) pairs jointly: permuting which iteration
+/// touched which element changes h1/h2 even when the index multiset and the
+/// iteration multiset are individually unchanged.
+struct PDAccessSummary {
+  std::uint64_t w_h0 = 0, w_h1 = 0, w_h2 = 0;  ///< write moment hashes
+  std::uint64_t r_h0 = 0, r_h1 = 0, r_h2 = 0;  ///< exposed-read moment hashes
+  long writes = 0;         ///< write marks folded in
+  long exposed_reads = 0;  ///< exposed-read marks folded in
+  std::size_t min_idx = std::numeric_limits<std::size_t>::max();
+  std::size_t max_idx = 0;
+
+  void note_write(long iter, std::size_t idx) noexcept {
+    const std::uint64_t m = mix64(static_cast<std::uint64_t>(idx) +
+                                  0x9E3779B97F4A7C15ull);
+    const std::uint64_t t = static_cast<std::uint64_t>(iter) + 1;
+    w_h0 += m;
+    w_h1 += m * t;
+    w_h2 += m * t * t;
+    ++writes;
+    if (idx < min_idx) min_idx = idx;
+    if (idx > max_idx) max_idx = idx;
+  }
+
+  void note_exposed_read(long iter, std::size_t idx) noexcept {
+    const std::uint64_t m = mix64(static_cast<std::uint64_t>(idx) +
+                                  0xC2B2AE3D27D4EB4Full);
+    const std::uint64_t t = static_cast<std::uint64_t>(iter) + 1;
+    r_h0 += m;
+    r_h1 += m * t;
+    r_h2 += m * t * t;
+    ++exposed_reads;
+    if (idx < min_idx) min_idx = idx;
+    if (idx > max_idx) max_idx = idx;
+  }
+
+  void merge(const PDAccessSummary& o) noexcept {
+    w_h0 += o.w_h0;
+    w_h1 += o.w_h1;
+    w_h2 += o.w_h2;
+    r_h0 += o.r_h0;
+    r_h1 += o.r_h1;
+    r_h2 += o.r_h2;
+    writes += o.writes;
+    exposed_reads += o.exposed_reads;
+    min_idx = std::min(min_idx, o.min_idx);
+    max_idx = std::max(max_idx, o.max_idx);
+  }
+
+  void clear() noexcept { *this = PDAccessSummary{}; }
+
+  long marks() const noexcept { return writes + exposed_reads; }
+};
 
 /// Outcome of the PD test's post-execution analysis.
 struct PDVerdict {
@@ -247,6 +314,7 @@ class PDPrivateShadow {
 
     void mark_write(long iter, std::size_t idx) noexcept {
       if (cells_ == nullptr) bind();  // cold: first mark through this view
+      if (sum_ != nullptr) sum_->note_write(iter, idx);
       PrivCell& c = cells_[idx];
       if (gens_[idx] != epoch_) {  // first mark since reset: fused init
         gens_[idx] = epoch_;
@@ -259,6 +327,7 @@ class PDPrivateShadow {
 
     void mark_exposed_read(long iter, std::size_t idx) noexcept {
       if (cells_ == nullptr) bind();  // cold: first mark through this view
+      if (sum_ != nullptr) sum_->note_exposed_read(iter, idx);
       PrivCell& c = cells_[idx];
       if (gens_[idx] != epoch_) {  // first mark since reset: fused init
         gens_[idx] = epoch_;
@@ -283,12 +352,14 @@ class PDPrivateShadow {
       cells_ = seg->cells;
       gens_ = seg->gens;
       epoch_ = shadow_->epoch_.value();
+      sum_ = shadow_->signatures_enabled_ ? &seg->summary : nullptr;
     }
 
     PDPrivateShadow* shadow_ = nullptr;
     unsigned vpn_ = 0;
     PrivCell* cells_ = nullptr;
     std::uint32_t* gens_ = nullptr;
+    PDAccessSummary* sum_ = nullptr;  ///< null when signatures are disabled
     std::uint32_t epoch_ = 0;
   };
 
@@ -301,12 +372,41 @@ class PDPrivateShadow {
   PDVerdict analyze(ThreadPool& pool, long trip) const;
   PDVerdict analyze_seq(long trip) const;
 
+  /// Signature-emit mode: the same analysis, but also folds the per-worker
+  /// access summaries into `*sum` (O(workers), no extra cell pass) so the
+  /// caller can memoize the verdict under the pattern's signature.
+  PDVerdict analyze(ThreadPool& pool, long trip, PDAccessSummary* sum) const {
+    if (sum != nullptr) *sum = access_summary();
+    return analyze(pool, trip);
+  }
+
+  /// Opt in to per-mark summary accumulation (wlp::pdcache).  Off by
+  /// default: the cache-off marking hot path pays only one predictable
+  /// null check.  Flip only while no marking is in flight; markers pick the
+  /// change up at their next rebind.
+  void enable_signatures(bool on) noexcept {
+    signatures_enabled_ = on;
+    clear_summaries();
+  }
+  bool signatures_enabled() const noexcept { return signatures_enabled_; }
+
+  /// Fold the per-worker summaries (marks since the last reset).  Valid
+  /// only after the fork-join barrier, like analyze().
+  PDAccessSummary access_summary() const noexcept {
+    PDAccessSummary sum;
+    for (const auto& seg : segs_)
+      if (seg != nullptr) sum.merge(seg->summary);
+    return sum;
+  }
+
   /// O(1): stale-epoch cells are ignored at merge time and lazily
   /// re-initialized on their next mark.  No sweep, independent of n.
   /// (One sweep per 2^32 resets when the 32-bit stamp wraps; see
-  /// sweep_generations.)
+  /// sweep_generations.)  With signatures enabled the per-worker summaries
+  /// are cleared too — O(workers), not O(n).
   void reset() noexcept {
     epoch_.bump([this] { sweep_generations(); });
+    if (signatures_enabled_) clear_summaries();
     WLP_OBS_COUNT("wlp.pd.resets", 1);
   }
 
@@ -348,6 +448,7 @@ class PDPrivateShadow {
     Segment& operator=(const Segment&) = delete;
     PrivCell* cells = nullptr;
     std::uint32_t* gens = nullptr;  ///< epoch each cell's marks belong to
+    PDAccessSummary summary;  ///< marks since last reset (signature mode)
     std::size_t n = 0;
     unsigned vpn = 0;
   };
@@ -380,6 +481,11 @@ class PDPrivateShadow {
   Segment* allocate_segment(unsigned vpn);
   void sweep_generations() noexcept;  ///< 32-bit stamp wrap: one sweep per 2^32 resets
 
+  void clear_summaries() noexcept {
+    for (auto& seg : segs_)
+      if (seg != nullptr) seg->summary.clear();
+  }
+
   struct Merged {
     long w0 = kEmpty, w1 = kEmpty, r0 = kEmpty, r1 = kEmpty;
   };
@@ -409,6 +515,7 @@ class PDPrivateShadow {
   // never in the middle of the marking range.
   std::vector<std::unique_ptr<Segment>> segs_;
   std::atomic<long> segment_allocs_{0};  ///< workers allocate concurrently
+  bool signatures_enabled_ = false;      ///< per-mark summary accumulation
 };
 
 /// Per-worker access recorder: decides read exposure using a worker-local

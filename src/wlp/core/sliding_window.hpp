@@ -76,6 +76,10 @@ struct WindowOptions {
   /// on the issue mutex while h - l <= w still holds exactly.  Other
   /// schedules behave as kDynamic (the window is inherently self-scheduled).
   Sched sched = Sched::kDynamic;
+  /// Optional cross-run verdict memoization (pd/verdict_cache.hpp): a loop
+  /// re-windowed with the same access pattern skips the PD merge.  Same
+  /// contract as SpecOptions::verdict_cache.
+  pdcache::VerdictCache* verdict_cache = nullptr;
 };
 
 /// The transaction-aware budget controller: one instance per windowed run.
@@ -370,6 +374,8 @@ WindowReport sliding_window_speculative_while(
     Body&& body, SeqRun&& run_sequential, WindowOptions wopts = {},
     bool undo_in_parallel = true) {
   WLP_TRACE_SCOPE("window.spec", u, wopts.window);
+  if (wopts.verdict_cache != nullptr)
+    for (SpecTarget* t : targets) t->enable_access_signatures(true);
   SpecTransaction txn(targets);
   double checkpoint_ns = 0;
   {
@@ -421,7 +427,14 @@ WindowReport sliding_window_speculative_while(
     for (SpecTarget* t : targets) {
       if (!t->shadowed()) continue;
       wr.exec.pd_tested = true;
-      if (!t->analyze(pool, wr.exec.trip).fully_parallel()) {
+      bool hit = false;
+      const PDVerdict v = pdcache::analyze_with_cache(
+          wopts.verdict_cache, *t, pool, /*base=*/0, wr.exec.trip, &hit);
+      if (wopts.verdict_cache != nullptr) {
+        ++wr.exec.verdict_probes;
+        if (hit) ++wr.exec.verdict_hits;
+      }
+      if (!v.fully_parallel()) {
         wr.exec.pd_passed = false;
         failed = true;
       }
@@ -432,6 +445,7 @@ WindowReport sliding_window_speculative_while(
   }
 
   if (failed) {
+    if (wopts.verdict_cache != nullptr) wopts.verdict_cache->invalidate_all();
     WLP_OBS_COUNT("wlp.spec.seq_reexec", 1);
     const auto ra0 = std::chrono::steady_clock::now();
     txn.restore_all(&pool);

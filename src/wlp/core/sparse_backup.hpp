@@ -133,6 +133,17 @@ class HashBackup {
     return occupied_.load(std::memory_order_relaxed);
   }
 
+  /// Sparse analogue of StampIndex::dirty_block_count(), same units (one
+  /// block = StampIndex::kBlockSize locations): each live slot is one
+  /// distinct recorded location, so entries()/64 rounded up is the densest
+  /// possible block packing of the touched set.  O(1) — read from the
+  /// occupancy counter the records already maintain, no slot sweep — which
+  /// is what lets the verdict signature include write density even on a
+  /// hash retry.
+  long dirty_block_count() const noexcept {
+    return static_cast<long>((entries() + 63) / 64);
+  }
+
   std::size_t capacity() const noexcept { return slots_.size(); }
 
   /// Drop every recorded entry (commit point in strip-wise drivers): an O(1)

@@ -96,6 +96,26 @@ class SparseSpecArray final : public SpecTarget {
   }
   void discard() override { backup_.clear(); }
 
+  // ---- verdict-cache hooks -------------------------------------------------
+
+  void enable_access_signatures(bool on) override {
+    if constexpr (requires(Shadow& s) { s.enable_signatures(on); }) {
+      if (pd_) shadow_.enable_signatures(on);
+    }
+  }
+  bool access_summary(PDAccessSummary* out) const override {
+    if constexpr (requires(const Shadow& s) { s.access_summary(); }) {
+      if (pd_ && shadow_.signatures_enabled()) {
+        *out = shadow_.access_summary();
+        return true;
+      }
+    }
+    return false;
+  }
+  long dirty_block_count() const override {
+    return backup_.dirty_block_count();
+  }
+
   // ---- fused-transaction hooks --------------------------------------------
   // No dense index and nothing to checkpoint up front; the fused undo pass
   // scans this target's slot table in chunks alongside the dense members'

@@ -80,6 +80,26 @@ class SpecTarget {
   /// the backup state can be dropped (strip-by-strip drivers use this).
   virtual void discard() = 0;
 
+  // ---- verdict-cache hooks (wlp::pdcache, pd/verdict_cache.hpp) ------------
+
+  /// Turn per-mark access-summary accumulation on/off in this target's
+  /// shadow.  Drivers call it once, before any marking, when a verdict
+  /// cache is attached; targets whose shadow policy has no summary support
+  /// ignore it (their access_summary() stays false and the cache is simply
+  /// bypassed for them).
+  virtual void enable_access_signatures(bool /*on*/) {}
+  /// Fold the shadow's per-worker access summaries into `*out` (only valid
+  /// after the fork-join barrier, like analyze()).  Returns false when this
+  /// target cannot produce one — signatures disabled, not shadowed, or a
+  /// shadow policy without summaries — in which case the caller must run
+  /// the full analysis.
+  virtual bool access_summary(PDAccessSummary* /*out*/) const { return false; }
+  /// Write density for the verdict signature: current-epoch dirty blocks
+  /// (dense stamps) or the equivalent packed-block count (sparse backups).
+  /// Cheap by construction — summary-word popcount or an occupancy read,
+  /// never an element sweep.
+  virtual long dirty_block_count() const { return 0; }
+
   // ---- fused-transaction hooks (SpecTransaction, txn.hpp) ------------------
 
   /// The trip-indexed stamp/dirty index this target's speculative writes go

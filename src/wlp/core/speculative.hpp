@@ -28,6 +28,7 @@
 #include "wlp/core/spec_target.hpp"
 #include "wlp/core/txn.hpp"
 #include "wlp/core/versioned_array.hpp"
+#include "wlp/pd/verdict_cache.hpp"
 #include "wlp/sched/doall.hpp"
 #include "wlp/support/cacheline.hpp"
 
@@ -121,6 +122,28 @@ class SpecArray final : public SpecTarget {
   std::size_t memory_bytes() const override { return array_.memory_bytes(); }
   void discard() override { array_.discard_checkpoint(); }
 
+  // ---- verdict-cache hooks -------------------------------------------------
+  // Compiled only for shadow policies with summary support (the privatized
+  // one); the shared policy keeps the defaults and the cache bypasses it.
+
+  void enable_access_signatures(bool on) override {
+    if constexpr (requires(Shadow& s) { s.enable_signatures(on); }) {
+      if (pd_) shadow_.enable_signatures(on);
+    }
+  }
+  bool access_summary(PDAccessSummary* out) const override {
+    if constexpr (requires(const Shadow& s) { s.access_summary(); }) {
+      if (pd_ && shadow_.signatures_enabled()) {
+        *out = shadow_.access_summary();
+        return true;
+      }
+    }
+    return false;
+  }
+  long dirty_block_count() const override {
+    return array_.dirty_block_count();
+  }
+
   // ---- fused-transaction hooks --------------------------------------------
 
   StampIndex* txn_index() noexcept override { return array_.index(); }
@@ -160,6 +183,11 @@ struct SpecOptions {
   /// growing back additively while comfortable — so callers stop wiring
   /// per-target byte probes by hand; the drivers ask the transaction.
   std::size_t memory_budget = 0;
+  /// Optional cross-strip verdict memoization (pd/verdict_cache.hpp).  The
+  /// drivers enable signature accumulation on every target, consult the
+  /// cache before each PD analysis, and invalidate it on misspeculation or
+  /// a footprint flip.  nullptr = always run the full analysis.
+  pdcache::VerdictCache* verdict_cache = nullptr;
 };
 
 /// Run a WHILE loop speculatively in parallel over [0, u).
@@ -179,6 +207,9 @@ ExecReport speculative_while(ThreadPool& pool, long u,
   r.used_stamps = true;
   WLP_TRACE_SCOPE("spec.round", u, targets.size());
   WLP_OBS_COUNT("wlp.spec.rounds", 1);
+
+  if (opts.verdict_cache != nullptr)
+    for (SpecTarget* t : targets) t->enable_access_signatures(true);
 
   SpecTransaction txn(targets);
   {
@@ -227,7 +258,13 @@ ExecReport speculative_while(ThreadPool& pool, long u,
     for (SpecTarget* t : targets) {
       if (!t->shadowed()) continue;
       r.pd_tested = true;
-      const PDVerdict v = t->analyze(pool, qr.trip);
+      bool hit = false;
+      const PDVerdict v = pdcache::analyze_with_cache(
+          opts.verdict_cache, *t, pool, /*base=*/0, qr.trip, &hit);
+      if (opts.verdict_cache != nullptr) {
+        ++r.verdict_probes;
+        if (hit) ++r.verdict_hits;
+      }
       if (!v.fully_parallel()) {
         r.pd_passed = false;
         failed = true;
@@ -238,6 +275,9 @@ ExecReport speculative_while(ThreadPool& pool, long u,
   }
 
   if (failed) {
+    // Misspeculation: whatever the memoized patterns were, the loop's
+    // behavior just diverged from them — drop the table.
+    if (opts.verdict_cache != nullptr) opts.verdict_cache->invalidate_all();
     WLP_TRACE_SCOPE("spec.seq_reexec", u, 0);
     WLP_OBS_COUNT("wlp.spec.seq_reexec", 1);
     const auto ra0 = std::chrono::steady_clock::now();

@@ -67,6 +67,13 @@ StripSpecReport strip_speculative_while(ThreadPool& pool, long u, long strip,
   // once here, so every strip's begin/undo/restore allocates nothing.
   SpecTransaction txn(targets);
 
+  // Cross-strip verdict memoization: a steady-state loop touches the same
+  // elements at the same strip-relative iterations every strip, so after
+  // the first strip the PD analysis is one summary fold + one cache probe.
+  if (opts.verdict_cache != nullptr)
+    for (SpecTarget* t : targets) t->enable_access_signatures(true);
+  long footprint_seen = txn.footprint_epochs();
+
   long cur_strip = strip;
   out.final_strip = cur_strip;
   long base = 0;
@@ -125,11 +132,28 @@ StripSpecReport strip_speculative_while(ThreadPool& pool, long u, long strip,
       WLP_OBS_COUNT("wlp.spec.backup_overflow", 1);
     }
 
+    // A backend flip (AdaptiveSpecArray hash <-> dense) changes the write
+    // density the signatures embed: drop memoized verdicts from before it.
+    if (opts.verdict_cache != nullptr) {
+      const long fp = txn.footprint_epochs();
+      if (fp != footprint_seen) {
+        footprint_seen = fp;
+        opts.verdict_cache->invalidate_all();
+      }
+    }
+
     if (!failed) {
       for (SpecTarget* t : targets) {
         if (!t->shadowed()) continue;
         out.exec.pd_tested = true;
-        if (!t->analyze(pool, qr.trip).fully_parallel()) {
+        bool hit = false;
+        const PDVerdict v = pdcache::analyze_with_cache(
+            opts.verdict_cache, *t, pool, base, qr.trip, &hit);
+        if (opts.verdict_cache != nullptr) {
+          ++out.exec.verdict_probes;
+          if (hit) ++out.exec.verdict_hits;
+        }
+        if (!v.fully_parallel()) {
           out.exec.pd_passed = false;
           failed = true;
         }
@@ -137,6 +161,9 @@ StripSpecReport strip_speculative_while(ThreadPool& pool, long u, long strip,
     }
 
     if (failed) {
+      // Misspeculation (PD miss, overflow, or an exception): the loop's
+      // behavior diverged from the memoized patterns — drop them all.
+      if (opts.verdict_cache != nullptr) opts.verdict_cache->invalidate_all();
       ++out.strips_failed;
       WLP_OBS_COUNT("wlp.strip.failures", 1);
       const auto ra0 = std::chrono::steady_clock::now();

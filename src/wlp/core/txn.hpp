@@ -550,6 +550,29 @@ class AdaptiveSpecArray final : public SpecTarget {
     hash_.clear();
   }
 
+  // ---- verdict-cache hooks -------------------------------------------------
+
+  void enable_access_signatures(bool on) override {
+    if constexpr (requires(Shadow& s) { s.enable_signatures(on); }) {
+      if (pd_) shadow_.enable_signatures(on);
+    }
+  }
+  bool access_summary(PDAccessSummary* out) const override {
+    if constexpr (requires(const Shadow& s) { s.access_summary(); }) {
+      if (pd_ && shadow_.signatures_enabled()) {
+        *out = shadow_.access_summary();
+        return true;
+      }
+    }
+    return false;
+  }
+  long dirty_block_count() const override {
+    // Whichever backend held this retry's writes knows the density; the
+    // idle side reports 0 (empty table / clean stamps), so the sum is the
+    // live count even right after a mid-run flip.
+    return array_.dirty_block_count() + hash_.dirty_block_count();
+  }
+
   // ---- fused-transaction hooks --------------------------------------------
   // Both personalities are always reported (see the class comment); the
   // mode checks below are load-bearing: on a hash retry the dense restore

@@ -236,6 +236,21 @@ class StampIndex {
            dirty_.size() * sizeof(dirty_[0]);
   }
 
+  /// Blocks written since the last clear(): one popcount per summary word
+  /// over the current epoch — O(n / 2048), no stamp sweep.  This is the
+  /// write-density input the verdict-cache signature folds in, measured
+  /// from state the writes already maintain.
+  long dirty_block_count() const noexcept {
+    const std::uint32_t epoch = clock_.value();
+    long blocks = 0;
+    for (const auto& w : dirty_) {
+      const std::uint64_t word = w.load(std::memory_order_relaxed);
+      if ((word >> 32) == epoch)
+        blocks += std::popcount(static_cast<std::uint32_t>(word));
+    }
+    return blocks;
+  }
+
   /// Scan summary words [wlo, whi) over an array of `n` elements: stale
   /// words are skipped outright; maximal spans of ADJACENT dirty blocks are
   /// walked with the spans merged ACROSS word boundaries, so a
@@ -588,6 +603,14 @@ class VersionedArray {
   std::size_t memory_bytes() const noexcept {
     return data_.capacity() * sizeof(T) + backup_.capacity() * sizeof(T) +
            (clearer_ ? index_->memory_bytes() : 0);
+  }
+
+  /// Blocks written since the last clear_stamps(): the stamp index's
+  /// summary-word popcount — O(n / 2048), no second sweep.  On a shared
+  /// index this counts the whole group's writes (one summary); the verdict
+  /// signature wants exactly that fused density.
+  long dirty_block_count() const noexcept {
+    return index_->dirty_block_count();
   }
 
   /// Bytes the pooled dense backup retains on its own (allocated once,

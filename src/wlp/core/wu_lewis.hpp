@@ -11,11 +11,13 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <vector>
 
 #include "wlp/core/report.hpp"
 #include "wlp/sched/doacross.hpp"
 #include "wlp/sched/doall.hpp"
+#include "wlp/support/backoff.hpp"
 
 namespace wlp {
 
@@ -54,27 +56,43 @@ ExecReport while_wu_lewis_distribute(ThreadPool& pool, Cursor head, Next&& next,
 template <class Cursor, class Next, class End, class Par>
 ExecReport while_wu_lewis_doacross(ThreadPool& pool, Cursor head, Next&& next,
                                    End&& is_end, Par&& par, long u) {
-  // ring[i % depth] is filled by the sequential phase of iteration i and
-  // read by its parallel phase.  A ring of pipeline-depth slots suffices:
-  // at most pool.size() iterations are in flight at once (each virtual
-  // processor holds one claimed iteration), so seq(i + depth) — which would
-  // overwrite slot i — cannot start until par(i)'s iteration has retired.
-  // The seed allocated a full O(u) vector here on every call.
+  // ring[i % slots] is filled by the sequential phase of iteration i and
+  // read by its parallel phase.  A pipeline-depth ring is NOT automatically
+  // safe: the chain bounds *claimed-but-unretired* iterations to pool.size(),
+  // but an intermediate iteration can retire while an older par() still
+  // runs, letting seq(i + slots) claim — and overwrite ring[i % slots] —
+  // before par(i) has read it (the intermittent TSan race on this line).
+  // Per-slot tickets close the window: seq(i) may not refill slot i % slots
+  // until par(i - slots) has copied the cursor out and advanced the ticket.
+  //
+  // No deadlock: a seq(i) ticket wait depends on par(i - slots), which
+  // depends only on seq(i - slots) — an iteration at least `slots` claims
+  // older that has already run (the chain executes sequential phases in
+  // order).  Within an owner's helping batch the same holds: every
+  // ticket-blocking par is from a prior batch and already free to run.
   const long depth = static_cast<long>(pool.size());
   std::vector<Cursor> ring(static_cast<std::size_t>(std::min(u, depth)));
   const long slots = static_cast<long>(ring.size());
+  std::vector<std::atomic<long>> turn(ring.size());
+  for (long k = 0; k < slots; ++k) turn[static_cast<std::size_t>(k)] = k;
   Cursor walker = head;
 
   const DoacrossResult dr = doacross_while(
       pool, u,
       [&](long i) {
         if (is_end(walker)) return false;
-        ring[static_cast<std::size_t>(i % slots)] = walker;
+        const auto k = static_cast<std::size_t>(i % slots);
+        Backoff bo;
+        while (turn[k].load(std::memory_order_acquire) != i) bo.pause();
+        ring[k] = walker;
         walker = next(walker);
         return true;
       },
       [&](long i, unsigned vpn) {
-        par(i, ring[static_cast<std::size_t>(i % slots)], vpn);
+        const auto k = static_cast<std::size_t>(i % slots);
+        Cursor c = ring[k];
+        turn[k].store(i + slots, std::memory_order_release);
+        par(i, c, vpn);
       });
 
   ExecReport r;

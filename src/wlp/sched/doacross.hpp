@@ -379,10 +379,13 @@ DoacrossResult doacross_run(ThreadPool& pool, long max_iters, long window,
 /// independent remainder.  Iterations are claimed dynamically, so the
 /// pipeline depth is the pool size.
 ///
-/// Note for callers staging values from seq to par: at most pool.size()
-/// iterations are ever in flight at once (claimed but unfinished), even
-/// with frontier helping, so a ring of pool.size() slots indexed by
-/// i % pool.size() is always safe (see core/wu_lewis.hpp).
+/// Note for callers staging values from seq to par: claimed-but-UNRETIRED
+/// iterations are bounded by pool.size(), but that alone does NOT make a
+/// pool.size()-slot ring safe — an intermediate iteration can retire while
+/// an older par() is still reading its slot, after which seq(i + slots) is
+/// free to claim and overwrite it.  Ring reuse needs an explicit hand-off
+/// (per-slot tickets: the par phase copies the staged value out and
+/// releases the slot before running the body — see core/wu_lewis.hpp).
 template <class Seq, class Par>
 DoacrossResult doacross_while(ThreadPool& pool, long max_iters, Seq&& seq,
                               Par&& par, DoacrossOptions opts = {}) {
